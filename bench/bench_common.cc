@@ -1,0 +1,98 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace bench {
+
+BenchOptions
+BenchOptions::fromEnv()
+{
+    BenchOptions opt;
+    if (const char *runs = std::getenv("TPV_RUNS"))
+        opt.runs = std::max(2, std::atoi(runs));
+    if (const char *dur = std::getenv("TPV_DURATION_S")) {
+        const double s = std::atof(dur);
+        if (s > 0) {
+            opt.duration = seconds(s);
+            opt.warmup = seconds(s / 10.0);
+        }
+    }
+    if (const char *par = std::getenv("TPV_PARALLEL"))
+        opt.parallelism = std::atoi(par);
+    return opt;
+}
+
+core::RunnerOptions
+BenchOptions::runner() const
+{
+    core::RunnerOptions r;
+    r.runs = runs;
+    r.parallelism = parallelism;
+    return r;
+}
+
+core::ExperimentConfig
+withTiming(core::ExperimentConfig cfg, const BenchOptions &opt)
+{
+    cfg.gen.duration = opt.duration;
+    cfg.gen.warmup = opt.warmup;
+    return cfg;
+}
+
+std::vector<std::string>
+smtStudyConfigs()
+{
+    return {"LP-SMToff", "LP-SMTon", "HP-SMToff", "HP-SMTon"};
+}
+
+std::vector<std::string>
+c1eStudyConfigs()
+{
+    return {"LP-C1Eoff", "LP-C1Eon", "HP-C1Eoff", "HP-C1Eon"};
+}
+
+core::ExperimentConfig
+configFor(const std::string &label, core::ExperimentConfig base)
+{
+    if (label.rfind("LP", 0) == 0) {
+        base.client = hw::HwConfig::clientLP();
+    } else if (label.rfind("HP", 0) == 0) {
+        base.client = hw::HwConfig::clientHP();
+    } else {
+        fatal("unknown client prefix in label '", label, "'");
+    }
+
+    if (label.find("SMTon") != std::string::npos) {
+        base.server = hw::HwConfig::serverSmtOn();
+    } else if (label.find("C1Eon") != std::string::npos) {
+        base.server = hw::HwConfig::serverC1eOn();
+    } else if (label.find("SMToff") != std::string::npos ||
+               label.find("C1Eoff") != std::string::npos) {
+        base.server = hw::HwConfig::serverBaseline();
+    } else {
+        fatal("unknown server knob in label '", label, "'");
+    }
+    base.label = label;
+    return base;
+}
+
+std::vector<double>
+memcachedLoads()
+{
+    return {10e3, 50e3, 100e3, 200e3, 300e3, 400e3, 500e3};
+}
+
+void
+progress(const core::StudyCell &cell)
+{
+    std::fprintf(stderr, "  [done] %-10s @ %7.0f qps  avg=%8.2fus\n",
+                 cell.config.c_str(), cell.qps,
+                 cell.result.medianAvg());
+}
+
+} // namespace bench
+} // namespace tpv

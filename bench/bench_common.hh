@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: run-count /
+ * duration scaling via environment variables, config construction
+ * for the paper's client/server pairs, and progress output.
+ *
+ * The paper runs each configuration for 2 minutes x 50 repetitions
+ * on real hardware; simulated runs default to shorter windows so the
+ * full harness finishes in minutes. Set TPV_DURATION_S=120 and
+ * TPV_RUNS=50 to reproduce the paper-scale statistics.
+ */
+
+#ifndef TPV_BENCH_COMMON_HH
+#define TPV_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "core/study.hh"
+
+namespace tpv {
+namespace bench {
+
+/** Bench-wide scaling knobs, resolved from the environment. */
+struct BenchOptions
+{
+    /** Repetitions per configuration (TPV_RUNS, default 20). */
+    int runs = 20;
+    /** Measured window per run (TPV_DURATION_S, default 0.2s). */
+    Time duration = msec(200);
+    /** Warmup before the window (scaled with duration). */
+    Time warmup = msec(20);
+    /** Worker threads for parallel runs (TPV_PARALLEL). */
+    int parallelism = 0;
+
+    /** Read TPV_RUNS / TPV_DURATION_S / TPV_PARALLEL. */
+    static BenchOptions fromEnv();
+
+    /** RunnerOptions with these settings. */
+    core::RunnerOptions runner() const;
+};
+
+/** Apply bench timing to an experiment config. */
+core::ExperimentConfig withTiming(core::ExperimentConfig cfg,
+                                  const BenchOptions &opt);
+
+/** The paper's four client x server labels for the SMT study. */
+std::vector<std::string> smtStudyConfigs();
+
+/** ...and for the C1E study. */
+std::vector<std::string> c1eStudyConfigs();
+
+/**
+ * Materialise a config from a "LP-SMToff"-style label: prefix picks
+ * the client (LP/HP), suffix the server knob (SMToff/SMTon, C1Eoff/
+ * C1Eon).
+ */
+core::ExperimentConfig configFor(const std::string &label,
+                                 core::ExperimentConfig base);
+
+/** Figure 2/3's request-rate axis: 10K..500K QPS. */
+std::vector<double> memcachedLoads();
+
+/** Print a one-line progress marker to stderr. */
+void progress(const core::StudyCell &cell);
+
+} // namespace bench
+} // namespace tpv
+
+#endif // TPV_BENCH_COMMON_HH

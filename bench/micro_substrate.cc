@@ -1,0 +1,149 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates: event queue
+ * throughput, RNG draws, statistics kernels, and a full
+ * simulated-second of the memcached experiment. These guard the
+ * simulator's wall-clock cost, which caps how much of the paper's
+ * 2-minute x 50-run protocol is affordable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "stats/ci.hh"
+#include "stats/descriptive.hh"
+#include "stats/sample_size.hh"
+#include "stats/shapiro_wilk.hh"
+
+namespace {
+
+using namespace tpv;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < batch; ++i)
+            q.schedule(i * 10, [&sink] { ++sink; });
+        while (!q.empty())
+            q.runNext();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::vector<EventHandle> hs;
+        hs.reserve(4096);
+        for (int i = 0; i < 4096; ++i)
+            hs.push_back(q.schedule(i, [] {}));
+        for (std::size_t i = 0; i < hs.size(); i += 2)
+            q.cancel(hs[i]);
+        while (!q.empty())
+            q.runNext();
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void
+BM_RngExponential(benchmark::State &state)
+{
+    Rng rng(1);
+    double acc = 0;
+    for (auto _ : state)
+        acc += rng.exponential(10.0);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngExponential);
+
+void
+BM_RngLognormal(benchmark::State &state)
+{
+    Rng rng(1);
+    double acc = 0;
+    for (auto _ : state)
+        acc += rng.lognormalMeanSd(10.0, 2.0);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngLognormal);
+
+std::vector<double>
+samples(int n)
+{
+    Rng rng(7);
+    std::vector<double> xs;
+    xs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        xs.push_back(rng.normal(100, 10));
+    return xs;
+}
+
+void
+BM_Percentile(benchmark::State &state)
+{
+    auto xs = samples(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::percentile(xs, 99));
+}
+BENCHMARK(BM_Percentile)->Arg(1000)->Arg(100000);
+
+void
+BM_ShapiroWilk50(benchmark::State &state)
+{
+    auto xs = samples(50);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::shapiroWilk(xs).pValue);
+}
+BENCHMARK(BM_ShapiroWilk50);
+
+void
+BM_Confirm50(benchmark::State &state)
+{
+    auto xs = samples(50);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::confirmIterations(xs).iterations);
+}
+BENCHMARK(BM_Confirm50);
+
+void
+BM_NonparametricCI(benchmark::State &state)
+{
+    auto xs = samples(50);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::nonparametricMedianCI(xs).lower);
+}
+BENCHMARK(BM_NonparametricCI);
+
+void
+BM_MemcachedSimulatedSecond(benchmark::State &state)
+{
+    const double qps = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        auto cfg = core::ExperimentConfig::forMemcached(qps);
+        cfg.gen.warmup = msec(10);
+        cfg.gen.duration = msec(100);
+        auto r = core::runOnce(cfg);
+        benchmark::DoNotOptimize(r.latency.mean);
+    }
+    // Report simulated requests per wall second.
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(qps * 0.11));
+}
+BENCHMARK(BM_MemcachedSimulatedSecond)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

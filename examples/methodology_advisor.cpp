@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Methodology advisor: Section VI as an interactive-style tool. Feed
+ * it a description of your experimental setup; it recommends the
+ * client configuration, runs a pilot, and sizes the repetitions with
+ * the distribution-appropriate estimator (Jain vs CONFIRM).
+ *
+ *   $ ./build/examples/methodology_advisor
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/recommend.hh"
+#include "core/runner.hh"
+#include "core/scenario.hh"
+#include "stats/shapiro_wilk.hh"
+
+using namespace tpv;
+
+namespace {
+
+void
+advise(const char *title, loadgen::SendMode mode, Time serviceLatency,
+       bool targetKnown, bool targetLowPower)
+{
+    std::printf("--- %s ---\n", title);
+    core::RecommendationInput in;
+    in.interarrival = mode;
+    in.serviceLatency = serviceLatency;
+    in.targetKnown = targetKnown;
+    in.targetUsesLowPower = targetLowPower;
+
+    const auto rec = core::recommendClientConfig(in);
+    std::printf("recommended client: %s\n", rec.client.name.c_str());
+    for (const auto &why : rec.rationale)
+        std::printf("  - %s\n", why.c_str());
+    if (rec.representativenessCaveat)
+        std::printf("  ! representativeness caveat: results may not "
+                    "match the production environment\n");
+    for (const auto &alt : rec.explore)
+        std::printf("  explore also: %s\n", alt.name.c_str());
+
+    const auto scenario = core::classify(mode, loadgen::MeasurePoint::InApp,
+                                         rec.client.idlePoll,
+                                         serviceLatency);
+    std::printf("  Table III classification: %s%s\n",
+                scenario.label().c_str(),
+                core::risky(scenario) ? "  [RISK]" : "");
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("tpv methodology advisor (paper Section VI)\n\n");
+
+    advise("mutilate-style study of a us-scale service",
+           loadgen::SendMode::BlockWait, usec(50), false, false);
+    advise("mutilate-style study, production runs low-power clients",
+           loadgen::SendMode::BlockWait, usec(50), true, true);
+    advise("busy-wait client, ms-scale service, target known (LP)",
+           loadgen::SendMode::BusyWait, msec(1), true, true);
+    advise("busy-wait client, target unknown",
+           loadgen::SendMode::BusyWait, usec(400), false, false);
+
+    // Pilot-based repetition sizing on real simulated data.
+    std::printf("--- repetition sizing from a 12-run pilot ---\n");
+    auto cfg = core::ExperimentConfig::forMemcached(10e3);
+    cfg.client = hw::HwConfig::clientLP();
+    cfg.gen.warmup = msec(30);
+    cfg.gen.duration = msec(300);
+    core::RunnerOptions opt;
+    opt.runs = 12;
+    const auto pilot = core::runMany(cfg, opt);
+
+    const auto advice = core::recommendIterations(pilot.avgPerRun);
+    std::printf("pilot: LP client, 10K QPS, %d runs, avg %.2f us, "
+                "stdev %.3f us\n",
+                opt.runs, pilot.meanAvg(), pilot.stdevAvg());
+    std::printf("Shapiro-Wilk p = %.4f -> %s estimator\n", advice.shapiroP,
+                advice.method == core::IterationMethod::Parametric
+                    ? "parametric (Jain)"
+                    : "non-parametric (CONFIRM)");
+    if (advice.saturated) {
+        std::printf("repetitions: > %zu (pilot too small to converge "
+                    "at 1%% error)\n",
+                    pilot.avgPerRun.size());
+    } else {
+        std::printf("repetitions for 1%% error at 95%%: %llu\n",
+                    static_cast<unsigned long long>(advice.iterations));
+    }
+    return 0;
+}

@@ -1,0 +1,200 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "loadgen/openloop.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace tpv {
+namespace core {
+
+const char *
+toString(WorkloadKind k)
+{
+    switch (k) {
+      case WorkloadKind::Memcached:
+        return "memcached";
+      case WorkloadKind::HdSearch:
+        return "hdsearch";
+      case WorkloadKind::SocialNetwork:
+        return "socialnetwork";
+      case WorkloadKind::Synthetic:
+        return "synthetic";
+    }
+    return "?";
+}
+
+ExperimentConfig
+ExperimentConfig::forMemcached(double qps)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Memcached;
+    cfg.gen.qps = qps;
+    // 4 client machines x 10 event-loop threads (160 connections in
+    // the paper), modelled as 40 generator threads.
+    cfg.gen.threads = 40;
+    cfg.gen.sendMode = loadgen::SendMode::BlockWait;
+    cfg.gen.completion = loadgen::CompletionMode::Blocking;
+    cfg.gen.measure = loadgen::MeasurePoint::InApp;
+    cfg.gen.interarrival = loadgen::InterarrivalKind::Exponential;
+    // ETC request model: mostly GETs, GEV-sized keys.
+    const svc::EtcModel etc = cfg.memcached.etc;
+    cfg.gen.requestModel = [etc](Rng &rng, net::Message &req) {
+        const svc::MemcachedOp op = etc.sampleOp(rng);
+        req.kind = static_cast<std::uint8_t>(op);
+        const std::uint32_t key = etc.sampleKeyBytes(rng);
+        const std::uint32_t value =
+            op == svc::MemcachedOp::Set ? etc.sampleValueBytes(rng) : 0;
+        req.bytes = etc.requestBytes(op, key, value);
+    };
+    cfg.label = "memcached";
+    return cfg;
+}
+
+ExperimentConfig
+ExperimentConfig::forHdSearch(double qps)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::HdSearch;
+    cfg.gen.qps = qps;
+    cfg.gen.threads = 4; // MicroSuite client: few polling loops
+    cfg.gen.sendMode = loadgen::SendMode::BusyWait;
+    cfg.gen.completion = loadgen::CompletionMode::Blocking;
+    cfg.gen.measure = loadgen::MeasurePoint::InApp;
+    cfg.gen.interarrival = loadgen::InterarrivalKind::Exponential;
+    cfg.gen.requestBytes = 512; // query feature vector
+    cfg.label = "hdsearch";
+    return cfg;
+}
+
+ExperimentConfig
+ExperimentConfig::forSocialNetwork(double qps)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::SocialNetwork;
+    cfg.gen.qps = qps;
+    cfg.gen.threads = 10; // wrk2 with 20 connections over 10 cores
+    cfg.gen.sendMode = loadgen::SendMode::BlockWait;
+    cfg.gen.completion = loadgen::CompletionMode::Blocking;
+    cfg.gen.measure = loadgen::MeasurePoint::InApp;
+    cfg.gen.interarrival = loadgen::InterarrivalKind::Exponential;
+    cfg.gen.requestBytes = 256; // read-user-timeline request
+    cfg.label = "socialnetwork";
+    return cfg;
+}
+
+ExperimentConfig
+ExperimentConfig::forSynthetic(double qps, Time addedDelay)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Synthetic;
+    cfg.gen.qps = qps;
+    cfg.gen.threads = 40; // same client fleet as the memcached study
+    cfg.gen.sendMode = loadgen::SendMode::BlockWait;
+    cfg.gen.completion = loadgen::CompletionMode::Blocking;
+    cfg.gen.measure = loadgen::MeasurePoint::InApp;
+    cfg.gen.interarrival = loadgen::InterarrivalKind::Exponential;
+    cfg.synthetic.addedDelay = addedDelay;
+    cfg.label = "synthetic";
+    return cfg;
+}
+
+namespace {
+
+/**
+ * Late-bound endpoint: lets the generator be constructed before the
+ * service it sends to (they reference each other).
+ */
+struct Relay : net::Endpoint
+{
+    net::Endpoint *target = nullptr;
+
+    void
+    onMessage(const net::Message &m) override
+    {
+        TPV_ASSERT(target != nullptr, "relay used before binding");
+        target->onMessage(m);
+    }
+};
+
+} // namespace
+
+RunResult
+runOnce(const ExperimentConfig &cfg)
+{
+    Simulator sim;
+    Rng rootRng(cfg.seed);
+
+    // The paper's client side is several machines (e.g. 4 mutilate
+    // clients); we model them as one wide machine with a core per
+    // generator thread (plus a completion-thread bank for busy-wait
+    // senders with blocking completions).
+    hw::HwConfig clientCfg = cfg.client;
+    int neededCores = cfg.gen.threads;
+    if (cfg.gen.sendMode == loadgen::SendMode::BusyWait &&
+        cfg.gen.completion == loadgen::CompletionMode::Blocking) {
+        neededCores *= 2;
+    }
+    clientCfg.cores = std::max(clientCfg.cores, neededCores);
+    hw::Machine clientMachine(sim, clientCfg, "client", rootRng.u64());
+    net::Link clientToServer(sim, rootRng.fork(), cfg.network);
+    net::Link serverToClient(sim, rootRng.fork(), cfg.network);
+
+    Relay serverDoor;
+    loadgen::OpenLoopGenerator gen(sim, clientMachine, clientToServer,
+                                   serverDoor, cfg.gen, rootRng.fork());
+
+    // Service construction; single-tier services get their own server
+    // machine, the multi-tier clusters build their machines inside.
+    std::unique_ptr<hw::Machine> serverMachine;
+    std::unique_ptr<net::Endpoint> service;
+    switch (cfg.workload) {
+      case WorkloadKind::Memcached:
+        serverMachine = std::make_unique<hw::Machine>(
+            sim, cfg.server, "server", rootRng.u64());
+        service = std::make_unique<svc::MemcachedServer>(
+            sim, *serverMachine, serverToClient, gen, rootRng.fork(),
+            cfg.memcached);
+        break;
+      case WorkloadKind::Synthetic:
+        serverMachine = std::make_unique<hw::Machine>(
+            sim, cfg.server, "server", rootRng.u64());
+        service = std::make_unique<svc::SyntheticServer>(
+            sim, *serverMachine, serverToClient, gen, rootRng.fork(),
+            cfg.synthetic);
+        break;
+      case WorkloadKind::HdSearch:
+        service = std::make_unique<svc::HdSearchCluster>(
+            sim, cfg.server, serverToClient, gen, rootRng.fork(),
+            cfg.hdsearch);
+        break;
+      case WorkloadKind::SocialNetwork:
+        service = std::make_unique<svc::SocialNetworkApp>(
+            sim, cfg.server, serverToClient, gen, rootRng.fork(),
+            cfg.socialnet);
+        break;
+    }
+    serverDoor.target = service.get();
+
+    gen.start();
+    // Run the measured window, then drain in-flight requests without
+    // accepting new samples (the recorder window is already closed).
+    const Time drain = msec(50);
+    sim.runUntil(gen.windowEnd() + drain);
+
+    RunResult out;
+    out.latency = gen.recorder().latencySummary();
+    out.sendLateness = gen.recorder().latenessSummary();
+    out.sent = gen.recorder().sent();
+    out.received = gen.recorder().received();
+    out.clientHw = clientMachine.stats();
+    if (serverMachine)
+        out.serverHw = serverMachine->stats();
+    out.events = sim.executedEvents();
+    return out;
+}
+
+} // namespace core
+} // namespace tpv

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Experiment definition and single-run execution: one fully wired
+ * client/server test cluster (Figure 1) under a chosen client-side
+ * and server-side hardware configuration, producing the per-run
+ * metrics the paper's studies aggregate.
+ */
+
+#ifndef TPV_CORE_EXPERIMENT_HH
+#define TPV_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "hw/config.hh"
+#include "hw/machine.hh"
+#include "loadgen/params.hh"
+#include "net/link.hh"
+#include "stats/descriptive.hh"
+#include "svc/hdsearch.hh"
+#include "svc/memcached.hh"
+#include "svc/socialnet.hh"
+#include "svc/synthetic.hh"
+
+namespace tpv {
+namespace core {
+
+/** The paper's four benchmarks (Section IV-B). */
+enum class WorkloadKind { Memcached, HdSearch, SocialNetwork, Synthetic };
+
+/** @return workload name. */
+const char *toString(WorkloadKind k);
+
+/**
+ * Everything needed to run one experiment: workload, client/server
+ * hardware configurations, generator settings and the network.
+ * Copyable so the Runner can fan runs out across OS threads.
+ */
+struct ExperimentConfig
+{
+    WorkloadKind workload = WorkloadKind::Memcached;
+    /** Client machine knobs (Table II LP / HP or custom). */
+    hw::HwConfig client = hw::HwConfig::clientLP();
+    /** Server machine knobs (baseline / SMT on / C1E on or custom). */
+    hw::HwConfig server = hw::HwConfig::serverBaseline();
+    /** Generator design + load (modes per the workload's real client). */
+    loadgen::OpenLoopParams gen;
+    /** Client <-> server network path. */
+    net::Link::Params network;
+    svc::MemcachedParams memcached;
+    svc::SyntheticParams synthetic;
+    svc::HdSearchParams hdsearch;
+    svc::SocialNetworkParams socialnet;
+    std::uint64_t seed = 1;
+
+    /** Short human-readable tag for reports ("LP-SMToff"). */
+    std::string label = "experiment";
+
+    /**
+     * Memcached driven by a mutilate-style generator: open-loop,
+     * time-sensitive (block-wait), in-app measurement, ETC mix.
+     */
+    static ExperimentConfig forMemcached(double qps);
+
+    /**
+     * HDSearch driven by the MicroSuite client: open-loop,
+     * time-insensitive (busy-wait) sends with a blocking completion
+     * path, Poisson arrivals.
+     */
+    static ExperimentConfig forHdSearch(double qps);
+
+    /** Social Network driven by wrk2: block-wait, exponential. */
+    static ExperimentConfig forSocialNetwork(double qps);
+
+    /** Synthetic service with the given added delay, mutilate-style
+     *  generator (Figure 7). */
+    static ExperimentConfig forSynthetic(double qps, Time addedDelay);
+};
+
+/** Metrics of a single run (one repetition). */
+struct RunResult
+{
+    /** End-to-end latency summary over the run's requests (us). */
+    stats::Summary latency;
+    /** Send-side schedule distortion (us late per request). */
+    stats::Summary sendLateness;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    /** Client machine power/DVFS activity during the run. */
+    hw::MachineStats clientHw;
+    /** Server machine stats (single-tier workloads; zeroed for the
+     *  multi-machine clusters, whose machines live inside the
+     *  service). */
+    hw::MachineStats serverHw;
+    /** Simulated events executed (simulator cost diagnostics). */
+    std::uint64_t events = 0;
+
+    double avgUs() const { return latency.mean; }
+    double p99Us() const { return latency.p99; }
+};
+
+/**
+ * Execute one run: build a fresh simulated cluster from @p cfg
+ * (independent environment per repetition, per Section III's iid
+ * requirement), run warmup + measurement + drain, and summarise.
+ */
+RunResult runOnce(const ExperimentConfig &cfg);
+
+} // namespace core
+} // namespace tpv
+
+#endif // TPV_CORE_EXPERIMENT_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Configuration recommendation engine: Section VI of the paper as
+ * executable logic — how to configure the client side given the
+ * generator design and the target production environment, and how
+ * many repetitions an experiment needs given its sample distribution.
+ */
+
+#ifndef TPV_CORE_RECOMMEND_HH
+#define TPV_CORE_RECOMMEND_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/config.hh"
+#include "loadgen/params.hh"
+#include "sim/time.hh"
+
+namespace tpv {
+namespace core {
+
+/** What the experimenter knows about their setup. */
+struct RecommendationInput
+{
+    /** Inter-arrival implementation of the generator in use. */
+    loadgen::SendMode interarrival = loadgen::SendMode::BlockWait;
+    /** Expected service latency scale. */
+    Time serviceLatency = usec(50);
+    /** Is the production/target client configuration known? */
+    bool targetKnown = false;
+    /** If known: does the target environment run low-power settings
+     *  (C-states + powersave) on client-equivalent machines? */
+    bool targetUsesLowPower = false;
+};
+
+/** The advice produced for a setup. */
+struct Recommendation
+{
+    /** Client configuration to run the experiment with. */
+    hw::HwConfig client;
+    /** Additional configurations worth exploring (space exploration
+     *  when the target is unknown). */
+    std::vector<hw::HwConfig> explore;
+    /** Human-readable reasoning, one sentence per consideration. */
+    std::vector<std::string> rationale;
+    /** True when results may misestimate the target environment's
+     *  end-to-end latency (tuned client vs low-power target). */
+    bool representativenessCaveat = false;
+};
+
+/** Apply Section VI's decision procedure. */
+Recommendation recommendClientConfig(const RecommendationInput &in);
+
+/** Method used to size the repetitions. */
+enum class IterationMethod { Parametric, Confirm };
+
+/** Repetition advice for an experiment's pilot samples. */
+struct IterationAdvice
+{
+    IterationMethod method = IterationMethod::Parametric;
+    /** Estimated repetitions for 1% error at 95% confidence. */
+    std::uint64_t iterations = 0;
+    /** Shapiro-Wilk p-value that drove the method choice. */
+    double shapiroP = 0;
+    /** True when the non-parametric estimate did not converge within
+     *  the pilot set ("> n" entries of Table IV). */
+    bool saturated = false;
+    /**
+     * Lag-1 autocorrelation of the pilot series — the paper's
+     * standard iid screen (Section III). Both estimators assume iid
+     * samples; a correlated pilot invalidates the advice.
+     */
+    double lag1Autocorrelation = 0;
+    /** True when the pilot passes the white-noise autocorrelation
+     *  band for lags 1..5. */
+    bool looksIid = true;
+};
+
+/**
+ * Section VI's closing advice: pick the repetition estimator by the
+ * sample distribution — Jain's closed form when the pilot passes
+ * Shapiro-Wilk normality, CONFIRM otherwise.
+ * @param pilotSamples one sample per pilot run (>= 10).
+ * @param errorPercent target error, default 1%.
+ */
+IterationAdvice recommendIterations(const std::vector<double> &pilotSamples,
+                                    double errorPercent = 1.0);
+
+} // namespace core
+} // namespace tpv
+
+#endif // TPV_CORE_RECOMMEND_HH

@@ -1,0 +1,106 @@
+#include "core/runner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace tpv {
+namespace core {
+
+double
+RepeatedResult::medianAvg() const
+{
+    return stats::median(avgPerRun);
+}
+
+double
+RepeatedResult::medianP99() const
+{
+    return stats::median(p99PerRun);
+}
+
+double
+RepeatedResult::meanAvg() const
+{
+    return stats::mean(avgPerRun);
+}
+
+double
+RepeatedResult::meanP99() const
+{
+    return stats::mean(p99PerRun);
+}
+
+double
+RepeatedResult::stdevAvg() const
+{
+    return stats::stdev(avgPerRun);
+}
+
+stats::ConfInterval
+RepeatedResult::avgCI(double level) const
+{
+    return stats::nonparametricMedianCI(avgPerRun, level);
+}
+
+stats::ConfInterval
+RepeatedResult::p99CI(double level) const
+{
+    return stats::nonparametricMedianCI(p99PerRun, level);
+}
+
+RepeatedResult
+runMany(const ExperimentConfig &cfg, const RunnerOptions &opt)
+{
+    TPV_ASSERT(opt.runs >= 1, "need at least one run");
+
+    RepeatedResult result;
+    result.runs.resize(static_cast<std::size_t>(opt.runs));
+
+    int workers = opt.parallelism;
+    if (workers <= 0)
+        workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1)
+        workers = 1;
+    workers = std::min(workers, opt.runs);
+
+    std::atomic<int> next{0};
+    auto worker = [&] {
+        while (true) {
+            const int i = next.fetch_add(1);
+            if (i >= opt.runs)
+                return;
+            ExperimentConfig runCfg = cfg;
+            // Widely spaced seeds; SplitMix scrambling in Rng makes
+            // adjacent seeds independent anyway.
+            runCfg.seed =
+                opt.baseSeed + 0x9e3779b97f4a7c15ULL *
+                                   static_cast<std::uint64_t>(i + 1);
+            result.runs[static_cast<std::size_t>(i)] = runOnce(runCfg);
+        }
+    };
+
+    if (workers == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    result.avgPerRun.reserve(result.runs.size());
+    result.p99PerRun.reserve(result.runs.size());
+    for (const RunResult &r : result.runs) {
+        result.avgPerRun.push_back(r.avgUs());
+        result.p99PerRun.push_back(r.p99Us());
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace tpv

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Study helpers: QPS sweeps across client/server configuration pairs,
+ * slowdown ratios, and tabular reporting — the machinery behind every
+ * figure of Section V.
+ */
+
+#ifndef TPV_CORE_STUDY_HH
+#define TPV_CORE_STUDY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace tpv {
+namespace core {
+
+/** One (configuration, load) cell of a study. */
+struct StudyCell
+{
+    std::string config;
+    double qps = 0;
+    RepeatedResult result;
+};
+
+/** A full sweep: every configuration at every load. */
+struct StudyGrid
+{
+    std::vector<StudyCell> cells;
+
+    /** Find a cell. Aborts if absent. */
+    const StudyCell &at(const std::string &config, double qps) const;
+
+    /** Distinct configuration labels in insertion order. */
+    std::vector<std::string> configs() const;
+
+    /** Distinct QPS values in insertion order. */
+    std::vector<double> loads() const;
+};
+
+/** Builds an ExperimentConfig for a (label, qps) pair. */
+using ConfigFactory =
+    std::function<ExperimentConfig(const std::string &label, double qps)>;
+
+/**
+ * Run the full grid of configurations x loads.
+ * @param configs configuration labels, e.g. {"LP-SMToff", ...}.
+ * @param loads QPS points, e.g. Figure 2's 10K..500K.
+ * @param factory materialises an ExperimentConfig per cell.
+ * @param opt repetition settings.
+ * @param progress optional callback fired after each finished cell.
+ */
+StudyGrid sweep(const std::vector<std::string> &configs,
+                const std::vector<double> &loads,
+                const ConfigFactory &factory, const RunnerOptions &opt,
+                const std::function<void(const StudyCell &)> &progress =
+                    nullptr);
+
+/**
+ * The paper's slowdown metric: ratio of mean per-run averages of two
+ * configurations (e.g. SMT_OFF / SMT_ON in Figure 2c).
+ */
+double slowdownAvg(const RepeatedResult &numerator,
+                   const RepeatedResult &denominator);
+
+/** Same ratio on per-run p99s (Figure 2d). */
+double slowdownP99(const RepeatedResult &numerator,
+                   const RepeatedResult &denominator);
+
+/**
+ * Does the study support a confident ordering of the two configs'
+ * median latency at this load? (+1: a above b, -1: below, 0: CIs
+ * overlap — the paper's conflicting-conclusions check for Figure 3.)
+ */
+int confidentAvgOrdering(const RepeatedResult &a, const RepeatedResult &b);
+
+/**
+ * Fixed-width table printing for bench binaries: a header plus one
+ * row per load, one column per configuration.
+ */
+class TableReporter
+{
+  public:
+    /** @param title printed above the table. */
+    explicit TableReporter(std::string title);
+
+    /** Set column headers (first column is the row label). */
+    void header(const std::vector<std::string> &cols);
+
+    /** Append a data row. */
+    void row(const std::string &label, const std::vector<double> &values);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Render as CSV (for EXPERIMENTS.md extraction). */
+    std::string csv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> cols_;
+    struct Row
+    {
+        std::string label;
+        std::vector<double> values;
+    };
+    std::vector<Row> rows_;
+};
+
+} // namespace core
+} // namespace tpv
+
+#endif // TPV_CORE_STUDY_HH

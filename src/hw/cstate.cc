@@ -1,0 +1,56 @@
+#include "hw/cstate.hh"
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace hw {
+
+CStateTable::CStateTable(const HwConfig &cfg, double exitScale)
+{
+    TPV_ASSERT(exitScale > 0, "exit-latency scale must be positive");
+    for (CStateSpec spec : skylakeCStateTable()) {
+        if (cfg.idlePoll) {
+            // idle=poll disables sleeping entirely: only C0 remains.
+            if (spec.state == CState::C0)
+                states_.push_back(spec);
+            continue;
+        }
+        if (cfg.cstateEnabled(spec.state)) {
+            spec.exitLatency = static_cast<Time>(
+                static_cast<double>(spec.exitLatency) * exitScale);
+            states_.push_back(spec);
+        }
+    }
+    TPV_ASSERT(!states_.empty() && states_.front().state == CState::C0,
+               "C-state table must contain C0");
+}
+
+const CStateSpec &
+CStateTable::deepestFor(Time predictedIdle) const
+{
+    const CStateSpec *best = &states_.front();
+    for (const CStateSpec &s : states_) {
+        if (s.targetResidency <= predictedIdle)
+            best = &s;
+    }
+    return *best;
+}
+
+Time
+CStateTable::exitLatency(CState s) const
+{
+    return spec(s).exitLatency;
+}
+
+const CStateSpec &
+CStateTable::spec(CState s) const
+{
+    for (const CStateSpec &cs : states_) {
+        if (cs.state == s)
+            return cs;
+    }
+    panic("C-state ", toString(s), " is not enabled on this machine");
+}
+
+} // namespace hw
+} // namespace tpv

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * C-state selection table: which sleep states a core may use and what
+ * each costs (paper Section IV-C, "C-states").
+ */
+
+#ifndef TPV_HW_CSTATE_HH
+#define TPV_HW_CSTATE_HH
+
+#include <vector>
+
+#include "hw/config.hh"
+#include "sim/time.hh"
+
+namespace tpv {
+namespace hw {
+
+/**
+ * The set of C-states enabled on a machine, with their latencies.
+ * Built from an HwConfig; answers "which state should a core enter
+ * for a predicted idle of X?" and "what does waking from S cost?".
+ */
+class CStateTable
+{
+  public:
+    /** Build the enabled subset of the Skylake table for @p cfg. */
+    explicit CStateTable(const HwConfig &cfg) : CStateTable(cfg, 1.0) {}
+
+    /**
+     * Same, with every exit latency scaled by @p exitScale — the
+     * per-machine-instance hardware variation knob.
+     */
+    CStateTable(const HwConfig &cfg, double exitScale);
+
+    /**
+     * Deepest enabled state whose target residency fits the predicted
+     * idle duration. With only C0 enabled (or idle=poll) this is C0.
+     */
+    const CStateSpec &deepestFor(Time predictedIdle) const;
+
+    /** Exit latency of state @p s. @pre s is enabled. */
+    Time exitLatency(CState s) const;
+
+    /** Spec lookup. @pre s is enabled. */
+    const CStateSpec &spec(CState s) const;
+
+    /** Enabled states, shallow to deep. */
+    const std::vector<CStateSpec> &states() const { return states_; }
+
+    /** Deepest enabled state. */
+    const CStateSpec &deepest() const { return states_.back(); }
+
+  private:
+    std::vector<CStateSpec> states_;
+};
+
+} // namespace hw
+} // namespace tpv
+
+#endif // TPV_HW_CSTATE_HH

@@ -1,0 +1,134 @@
+#include "hw/dvfs.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace hw {
+
+FreqDomain::FreqDomain(Simulator &sim, const HwConfig &cfg,
+                       std::function<int()> activeCores,
+                       std::function<void()> onChange)
+    : sim_(sim), cfg_(&cfg), activeCores_(std::move(activeCores)),
+      onChange_(std::move(onChange))
+{
+    switch (cfg_->governor) {
+      case FreqGovernor::Performance:
+        currentGhz_ = maxAvailableGhz();
+        break;
+      case FreqGovernor::Powersave:
+      case FreqGovernor::Ondemand:
+        currentGhz_ = cfg_->minGhz;
+        break;
+      case FreqGovernor::Userspace:
+        currentGhz_ = cfg_->nominalGhz;
+        break;
+    }
+}
+
+double
+FreqDomain::maxAvailableGhz() const
+{
+    if (!cfg_->turbo)
+        return cfg_->nominalGhz;
+    // Active-core turbo bins: few busy cores get full turbo, half-busy
+    // machines an intermediate bin, saturated machines nominal.
+    const int active = activeCores_();
+    const int total = cfg_->cores;
+    if (active * 4 <= total)
+        return cfg_->turboGhz;
+    if (active * 2 <= total)
+        return 0.5 * (cfg_->turboGhz + cfg_->nominalGhz);
+    return cfg_->nominalGhz;
+}
+
+void
+FreqDomain::setFreq(double ghz)
+{
+    if (ghz == currentGhz_)
+        return;
+    if (preChange_)
+        preChange_();
+    currentGhz_ = ghz;
+    ++transitions_;
+    if (onChange_)
+        onChange_();
+}
+
+double
+FreqDomain::rampTargetGhz() const
+{
+    if (cfg_->governor == FreqGovernor::Performance)
+        return maxAvailableGhz();
+    return std::min(maxAvailableGhz(), cfg_->nominalGhz);
+}
+
+void
+FreqDomain::scheduleRamp(Time delay)
+{
+    if (sim_.pending(rampEv_))
+        return;
+    rampEv_ = sim_.schedule(delay, [this] { setFreq(rampTargetGhz()); });
+}
+
+double
+FreqDomain::utilFreqGhz() const
+{
+    return cfg_->minGhz + util_ * (rampTargetGhz() - cfg_->minGhz);
+}
+
+void
+FreqDomain::onCoreWake(Time idleDuration)
+{
+    switch (cfg_->governor) {
+      case FreqGovernor::Performance:
+        setFreq(maxAvailableGhz());
+        return;
+      case FreqGovernor::Userspace:
+        return;
+      case FreqGovernor::Powersave:
+      case FreqGovernor::Ondemand: {
+        // Fold the finished busy/idle cycle into the busy-fraction
+        // EWMA (intel_pstate's per-sample utilisation tracking).
+        const Time cycle = lastBusy_ + idleDuration;
+        if (cycle > 0) {
+            const double inst = static_cast<double>(lastBusy_) /
+                                static_cast<double>(cycle);
+            const double alpha =
+                cfg_->governor == FreqGovernor::Powersave ? 0.25 : 0.10;
+            util_ = alpha * inst + (1.0 - alpha) * util_;
+        }
+        setFreq(utilFreqGhz());
+        // A core that *stays* busy earns the ramp target after the
+        // governor's next utilisation sample plus the hardware
+        // transition (ondemand samples more slowly).
+        const Time delay =
+            (cfg_->governor == FreqGovernor::Powersave
+                 ? cfg_->psSamplePeriod
+                 : 2 * cfg_->psSamplePeriod) +
+            cfg_->dvfsTransition;
+        if (currentGhz_ < rampTargetGhz())
+            scheduleRamp(delay);
+        return;
+      }
+    }
+}
+
+void
+FreqDomain::onCoreIdle(Time busyDuration)
+{
+    lastBusy_ = busyDuration;
+    if (sim_.pending(rampEv_))
+        sim_.cancel(rampEv_);
+}
+
+void
+FreqDomain::refreshTarget()
+{
+    if (cfg_->governor == FreqGovernor::Performance)
+        setFreq(maxAvailableGhz());
+}
+
+} // namespace hw
+} // namespace tpv

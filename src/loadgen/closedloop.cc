@@ -1,0 +1,123 @@
+#include "loadgen/closedloop.hh"
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace loadgen {
+
+ClosedLoopGenerator::ClosedLoopGenerator(Simulator &sim,
+                                         hw::Machine &client,
+                                         net::Link &toServer,
+                                         net::Endpoint &server,
+                                         ClosedLoopParams params, Rng rng)
+    : sim_(sim), client_(client), toServer_(toServer), server_(server),
+      params_(std::move(params))
+{
+    if (params_.threads <= 0 ||
+        static_cast<std::size_t>(params_.threads) > client_.coreCount())
+        fatal("closed-loop threads must fit the client machine");
+    if (params_.clientsPerThread <= 0)
+        fatal("closed-loop needs at least one client per thread");
+
+    const auto total = static_cast<std::size_t>(params_.threads) *
+                       static_cast<std::size_t>(params_.clientsPerThread);
+    clients_.resize(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        clients_[i].conn = static_cast<std::uint32_t>(i);
+        clients_[i].threadIdx =
+            i % static_cast<std::size_t>(params_.threads);
+        clients_[i].rng = rng.fork();
+    }
+}
+
+void
+ClosedLoopGenerator::start()
+{
+    const Time now = sim_.now();
+    recorder_.setWindow(now + params_.warmup, now + params_.windowEnd());
+    sendDeadline_ = now + params_.windowEnd();
+    windowEnd_ = now + params_.windowEnd();
+
+    for (auto &c : clients_) {
+        if (params_.sendMode == SendMode::BusyWait)
+            client_.thread(c.threadIdx).setAlwaysBusy(true);
+        sendNext(c);
+    }
+}
+
+void
+ClosedLoopGenerator::sendNext(VClient &c)
+{
+    if (sim_.now() >= sendDeadline_)
+        return;
+    const Time think = c.rng.exponentialTime(
+        params_.thinkTime > 0 ? params_.thinkTime : 1);
+    const Time when = sim_.now() + think;
+    hw::HwThread &thr = client_.thread(c.threadIdx);
+    const hw::HwConfig &cfg = client_.config();
+
+    if (params_.sendMode == SendMode::BlockWait) {
+        const Time dispatch =
+            cfg.irqWork + cfg.ctxSwitch + params_.sendWork;
+        thr.sleepUntil(when, dispatch, [this, &c] { issue(c); });
+    } else {
+        sim_.at(when, [this, &c] {
+            client_.thread(c.threadIdx)
+                .submit(params_.sendWork, [this, &c] { issue(c); });
+        });
+    }
+}
+
+void
+ClosedLoopGenerator::issue(VClient &c)
+{
+    net::Message req;
+    req.id = (static_cast<std::uint64_t>(c.conn) << 40) | c.sendCount;
+    ++c.sendCount;
+    req.conn = c.conn;
+    req.bytes = params_.requestBytes;
+    req.appSendTime = sim_.now();
+    req.intendedSendTime = sim_.now();
+    if (params_.requestModel)
+        params_.requestModel(c.rng, req);
+    recorder_.countSent();
+    toServer_.send(req, server_);
+}
+
+void
+ClosedLoopGenerator::onMessage(const net::Message &resp)
+{
+    recorder_.countReceived();
+    const Time nicTime = sim_.now();
+    VClient &c = clients_[resp.conn];
+    const hw::HwConfig &cfg = client_.config();
+
+    if (params_.measure == MeasurePoint::Nic) {
+        recorder_.recordLatency(resp.appSendTime,
+                                toUsec(nicTime - resp.appSendTime));
+    }
+
+    // Closed loop responses always wake the blocked client.
+    client_.deliverIrq(c.threadIdx, cfg.irqWork, [this, resp, &c] {
+        if (params_.measure == MeasurePoint::Kernel) {
+            recorder_.recordLatency(resp.appSendTime,
+                                    toUsec(sim_.now() - resp.appSendTime));
+        }
+        const hw::HwConfig &ccfg = client_.config();
+        client_.thread(c.threadIdx)
+            .submit(ccfg.ctxSwitch + params_.parseWork, [this, resp, &c] {
+                if (params_.measure == MeasurePoint::InApp) {
+                    recorder_.recordLatency(
+                        resp.appSendTime,
+                        toUsec(sim_.now() - resp.appSendTime));
+                }
+                ++completed_;
+                // The response releases this client for its next
+                // request.
+                sendNext(c);
+            });
+    });
+}
+
+} // namespace loadgen
+} // namespace tpv

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Closed-loop workload generator: a finite population of blocking
+ * clients, each waiting for its response (plus think time) before
+ * issuing the next request (paper Section II taxonomy).
+ */
+
+#ifndef TPV_LOADGEN_CLOSEDLOOP_HH
+#define TPV_LOADGEN_CLOSEDLOOP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "loadgen/params.hh"
+#include "loadgen/recorder.hh"
+#include "net/link.hh"
+#include "net/message.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace tpv {
+namespace loadgen {
+
+/**
+ * Closed-loop generator. clientsPerThread virtual clients multiplex
+ * on each generator thread; the offered load self-regulates with
+ * service latency (Little's law), and timing inaccuracy on the
+ * client machine delays successive requests (paper Section II).
+ */
+class ClosedLoopGenerator : public net::Endpoint
+{
+  public:
+    ClosedLoopGenerator(Simulator &sim, hw::Machine &client,
+                        net::Link &toServer, net::Endpoint &server,
+                        ClosedLoopParams params, Rng rng);
+
+    /** Kick off every virtual client. */
+    void start();
+
+    /** Response arrival at the client NIC. */
+    void onMessage(const net::Message &resp) override;
+
+    LatencyRecorder &recorder() { return recorder_; }
+    const LatencyRecorder &recorder() const { return recorder_; }
+
+    /** Absolute end of the measurement window. */
+    Time windowEnd() const { return windowEnd_; }
+
+    /** Completed request count (all clients). */
+    std::uint64_t completed() const { return completed_; }
+
+  private:
+    struct VClient
+    {
+        std::uint32_t conn = 0;
+        std::size_t threadIdx = 0;
+        std::uint64_t sendCount = 0;
+        Rng rng{0};
+    };
+
+    void sendNext(VClient &c);
+    void issue(VClient &c);
+
+    Simulator &sim_;
+    hw::Machine &client_;
+    net::Link &toServer_;
+    net::Endpoint &server_;
+    ClosedLoopParams params_;
+    LatencyRecorder recorder_;
+    std::vector<VClient> clients_;
+    Time sendDeadline_ = 0;
+    Time windowEnd_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace loadgen
+} // namespace tpv
+
+#endif // TPV_LOADGEN_CLOSEDLOOP_HH

@@ -1,0 +1,215 @@
+#include "loadgen/openloop.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace loadgen {
+
+OpenLoopGenerator::OpenLoopGenerator(Simulator &sim, hw::Machine &client,
+                                     net::Link &toServer,
+                                     net::Endpoint &server,
+                                     OpenLoopParams params, Rng rng)
+    : sim_(sim), client_(client), toServer_(toServer), server_(server),
+      params_(std::move(params))
+{
+    if (params_.qps <= 0)
+        fatal("open-loop generator needs positive qps");
+    // Busy-wait send loops with blocking completions use a second
+    // bank of (sleepable) completion threads.
+    if (params_.sendMode == SendMode::BusyWait &&
+        params_.completion == CompletionMode::Blocking) {
+        completionOffset_ = static_cast<std::size_t>(params_.threads);
+    }
+    const std::size_t needed =
+        static_cast<std::size_t>(params_.threads) + completionOffset_;
+    if (params_.threads <= 0 || needed > client_.coreCount()) {
+        fatal("generator needs ", needed,
+              " client threads but the machine has ",
+              client_.coreCount(), " cores");
+    }
+
+    const double perThreadRate =
+        params_.qps / static_cast<double>(params_.threads);
+    perThreadGapMean_ =
+        static_cast<Time>(static_cast<double>(kSecond) / perThreadRate);
+    TPV_ASSERT(perThreadGapMean_ > 0, "per-thread rate too high");
+
+    gens_.resize(static_cast<std::size_t>(params_.threads));
+    for (std::size_t g = 0; g < gens_.size(); ++g) {
+        gens_[g].threadIdx = g; // thread 0 of core g
+        gens_[g].rng = rng.fork();
+    }
+}
+
+void
+OpenLoopGenerator::start()
+{
+    const Time now = sim_.now();
+    recorder_.setWindow(now + params_.warmup, now + params_.windowEnd());
+    sendDeadline_ = now + params_.windowEnd();
+    windowEnd_ = now + params_.windowEnd();
+
+    for (auto &g : gens_) {
+        if (params_.sendMode == SendMode::BusyWait) {
+            // The poll loop owns the core for the whole run.
+            client_.thread(g.threadIdx).setAlwaysBusy(true);
+        }
+        // Stagger thread start phases like independent connections.
+        g.nextIntended = now + drawGap(g);
+        scheduleNext(g);
+    }
+}
+
+Time
+OpenLoopGenerator::drawGap(GenThread &g)
+{
+    switch (params_.interarrival) {
+      case InterarrivalKind::Exponential:
+        return g.rng.exponentialTime(perThreadGapMean_);
+      case InterarrivalKind::Fixed:
+        return perThreadGapMean_;
+      case InterarrivalKind::Lognormal: {
+        const auto mean = static_cast<double>(perThreadGapMean_);
+        return static_cast<Time>(
+            g.rng.lognormalMeanSd(mean, params_.lognormalCv * mean));
+      }
+    }
+    return perThreadGapMean_;
+}
+
+void
+OpenLoopGenerator::scheduleNext(GenThread &g)
+{
+    const Time intended = g.nextIntended;
+    if (intended >= sendDeadline_)
+        return;
+    hw::HwThread &thr = client_.thread(g.threadIdx);
+
+    if (params_.sendMode == SendMode::BlockWait) {
+        if (intended <= sim_.now()) {
+            // Running behind schedule: send without sleeping.
+            thr.submit(params_.sendWork,
+                       [this, &g, intended] { doSend(g, intended); });
+        } else {
+            // The event loop blocks until the timer. If it was truly
+            // blocked at fire time, the timer IRQ + context switch
+            // precede the send; if other events kept it running, the
+            // timer is picked up in the same epoll batch.
+            auto dispatch = [this, &g]() -> Time {
+                const bool blocked = !client_.thread(g.threadIdx).busy();
+                const hw::HwConfig &ccfg = client_.config();
+                return params_.sendWork +
+                       (blocked ? ccfg.irqWork + ccfg.ctxSwitch : 0);
+            };
+            thr.sleepUntil(intended, dispatch,
+                           [this, &g, intended] { doSend(g, intended); });
+        }
+    } else {
+        // Busy-wait: fire exactly on schedule; only the send syscall
+        // costs CPU.
+        const Time delay =
+            intended > sim_.now() ? intended - sim_.now() : 0;
+        sim_.schedule(delay, [this, &g, intended] {
+            client_.thread(g.threadIdx)
+                .submit(params_.sendWork,
+                        [this, &g, intended] { doSend(g, intended); });
+        });
+    }
+}
+
+void
+OpenLoopGenerator::doSend(GenThread &g, Time intended)
+{
+    const Time now = sim_.now();
+
+    net::Message req;
+    req.id = (static_cast<std::uint64_t>(g.threadIdx) << 40) | g.sendCount;
+    ++g.sendCount;
+    req.conn = static_cast<std::uint32_t>(g.threadIdx);
+    req.bytes = params_.requestBytes;
+    req.appSendTime = now;
+    req.intendedSendTime = intended;
+    if (params_.requestModel)
+        params_.requestModel(g.rng, req);
+
+    recorder_.countSent();
+    recorder_.recordLateness(now, toUsec(now - intended));
+    if (g.lastSendActual >= 0)
+        recorder_.recordInterarrival(now, toUsec(now - g.lastSendActual));
+    g.lastSendActual = now;
+
+    toServer_.send(req, server_);
+
+    // Open loop: the next request follows the schedule regardless of
+    // this one's completion.
+    g.nextIntended += drawGap(g);
+    scheduleNext(g);
+}
+
+void
+OpenLoopGenerator::onMessage(const net::Message &resp)
+{
+    handleResponse(resp, sim_.now());
+}
+
+void
+OpenLoopGenerator::handleResponse(const net::Message &resp, Time nicTime)
+{
+    recorder_.countReceived();
+    // Responses RSS to the sender's thread, or to its dedicated
+    // completion thread when the send loop busy-waits.
+    const std::size_t thrIdx = resp.conn + completionOffset_;
+    const hw::HwConfig &cfg = client_.config();
+    // wrk2-style correction measures from the schedule, not the
+    // (possibly late) actual send.
+    const Time epoch = params_.correctCoordinatedOmission
+                           ? resp.intendedSendTime
+                           : resp.appSendTime;
+
+    if (params_.measure == MeasurePoint::Nic) {
+        recorder_.recordLatency(resp.appSendTime,
+                                toUsec(nicTime - epoch));
+    }
+
+    if (params_.completion == CompletionMode::Blocking) {
+        // IRQ wakes the core; the softirq timestamp is the kernel
+        // measurement point; the context switch + parse precede the
+        // in-app timestamp. If the event loop is already running when
+        // the response arrives, it is picked up in the current epoll
+        // batch — no additional context switch.
+        const bool blocked = !client_.thread(thrIdx).busy();
+        client_.deliverIrq(thrIdx, cfg.irqWork,
+                           [this, resp, thrIdx, blocked, epoch] {
+            if (params_.measure == MeasurePoint::Kernel) {
+                recorder_.recordLatency(resp.appSendTime,
+                                        toUsec(sim_.now() - epoch));
+            }
+            const hw::HwConfig &ccfg = client_.config();
+            const Time handoff = blocked ? ccfg.ctxSwitch : 0;
+            client_.thread(thrIdx).submit(
+                handoff + params_.parseWork, [this, resp, epoch] {
+                    if (params_.measure == MeasurePoint::InApp) {
+                        recorder_.recordLatency(
+                            resp.appSendTime,
+                            toUsec(sim_.now() - epoch));
+                    }
+                });
+        });
+    } else {
+        // Polling completion: the spinning app thread parses the
+        // response directly; no wake, no context switch.
+        client_.thread(thrIdx).submit(params_.parseWork,
+                                      [this, resp, epoch] {
+            if (params_.measure == MeasurePoint::Kernel ||
+                params_.measure == MeasurePoint::InApp) {
+                recorder_.recordLatency(resp.appSendTime,
+                                        toUsec(sim_.now() - epoch));
+            }
+        });
+    }
+}
+
+} // namespace loadgen
+} // namespace tpv

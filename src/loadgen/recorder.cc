@@ -1,0 +1,38 @@
+#include "loadgen/recorder.hh"
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace loadgen {
+
+void
+LatencyRecorder::setWindow(Time start, Time end)
+{
+    TPV_ASSERT(start < end, "empty measurement window");
+    start_ = start;
+    end_ = end;
+}
+
+void
+LatencyRecorder::recordLatency(Time sentAt, double usecLatency)
+{
+    if (inWindow(sentAt))
+        latencies_.push_back(usecLatency);
+}
+
+void
+LatencyRecorder::recordLateness(Time sentAt, double usecLate)
+{
+    if (inWindow(sentAt))
+        lateness_.push_back(usecLate);
+}
+
+void
+LatencyRecorder::recordInterarrival(Time sentAt, double usecGap)
+{
+    if (inWindow(sentAt))
+        interarrivals_.push_back(usecGap);
+}
+
+} // namespace loadgen
+} // namespace tpv

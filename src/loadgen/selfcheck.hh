@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Generator self-validation, modelled on Lancet (Kogias et al., ATC'19;
+ * paper Section VII): before trusting a run's percentiles, check that
+ * (i) the realised inter-arrival times follow the requested
+ * distribution (Anderson-Darling), (ii) the latency series is
+ * stationary (Dickey-Fuller), and (iii) successive samples are
+ * independent (Spearman on lagged pairs).
+ *
+ * A time-sensitive generator on an untuned client fails (i) — its
+ * sends drift from the schedule — which is exactly the workload
+ * distortion of paper Section II.
+ */
+
+#ifndef TPV_LOADGEN_SELFCHECK_HH
+#define TPV_LOADGEN_SELFCHECK_HH
+
+#include <string>
+
+#include "loadgen/params.hh"
+#include "loadgen/recorder.hh"
+#include "stats/dependence.hh"
+#include "stats/normality.hh"
+
+namespace tpv {
+namespace loadgen {
+
+/** Outcome of the Lancet-style validity checks on one run. */
+struct SelfCheckReport
+{
+    /** (i) Do inter-arrival gaps match the exponential target? */
+    stats::AndersonDarlingExpResult arrivalFit;
+    bool arrivalsOk = false;
+    /** Only meaningful for exponential inter-arrival schedules. */
+    bool arrivalCheckApplicable = false;
+
+    /** (ii) Is the latency series stationary? */
+    stats::DickeyFullerResult stationarity;
+    bool stationaryOk = false;
+
+    /** (iii) Are successive latency samples independent? */
+    stats::SpearmanResult lag1Dependence;
+    bool independentOk = false;
+
+    /** Mean send lateness (us) — the workload-distortion headline. */
+    double meanLatenessUs = 0;
+
+    /** All applicable checks passed. */
+    bool allOk() const;
+
+    /** One-line-per-check human-readable report. */
+    std::string summary() const;
+};
+
+/**
+ * Run the checks against a completed run's recorder.
+ * @param rec the generator's recorder after the run.
+ * @param interarrival the schedule the generator was asked to follow.
+ * @pre at least 32 recorded latencies and gaps.
+ */
+SelfCheckReport runSelfCheck(const LatencyRecorder &rec,
+                             InterarrivalKind interarrival);
+
+} // namespace loadgen
+} // namespace tpv
+
+#endif // TPV_LOADGEN_SELFCHECK_HH

@@ -1,0 +1,41 @@
+#include "net/link.hh"
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace net {
+
+Link::Link(Simulator &sim, Rng rng) : Link(sim, rng, Params()) {}
+
+Link::Link(Simulator &sim, Rng rng, Params params)
+    : sim_(sim), rng_(rng), params_(params)
+{
+    TPV_ASSERT(params_.baseLatency >= 0, "negative link latency");
+    TPV_ASSERT(params_.bandwidthGbps > 0, "non-positive link bandwidth");
+}
+
+Time
+Link::sampleDelay(std::uint32_t bytes)
+{
+    double mult = 1.0;
+    if (params_.jitterFrac > 0)
+        mult = rng_.lognormalMeanSd(1.0, params_.jitterFrac);
+    const double propagation =
+        static_cast<double>(params_.baseLatency) * mult;
+    // bytes * 8 bits / (Gbps) = ns
+    const double serialization =
+        static_cast<double>(bytes) * 8.0 / params_.bandwidthGbps;
+    return static_cast<Time>(propagation + serialization);
+}
+
+void
+Link::send(Message msg, Endpoint &dst)
+{
+    const Time delay = sampleDelay(msg.bytes);
+    ++messagesSent_;
+    totalDelay_ += delay;
+    sim_.schedule(delay, [msg, &dst] { dst.onMessage(msg); });
+}
+
+} // namespace net
+} // namespace tpv

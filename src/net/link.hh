@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Point-to-point network path between two machines of the test
+ * cluster: propagation + switching latency with jitter, plus
+ * store-and-forward serialization by message size.
+ */
+
+#ifndef TPV_NET_LINK_HH
+#define TPV_NET_LINK_HH
+
+#include <cstdint>
+
+#include "net/message.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace tpv {
+namespace net {
+
+/**
+ * A one-way network path. Latency model:
+ *   delay = baseLatency * lognormal(1, jitterFrac) + bytes / bandwidth
+ *
+ * Defaults approximate one switch hop of a 10 GbE CloudLab rack:
+ * ~5 us one-way with ~10% jitter.
+ */
+class Link
+{
+  public:
+    struct Params
+    {
+        /** Median one-way latency. */
+        Time baseLatency = usec(5);
+        /** Relative sd of the lognormal latency multiplier. */
+        double jitterFrac = 0.10;
+        /** Line rate for serialization delay. */
+        double bandwidthGbps = 10.0;
+    };
+
+    /** Build a link with default parameters. */
+    Link(Simulator &sim, Rng rng);
+
+    Link(Simulator &sim, Rng rng, Params params);
+
+    /** Deliver @p msg to @p dst after the modelled delay. */
+    void send(Message msg, Endpoint &dst);
+
+    /** Messages pushed through this link. */
+    std::uint64_t messagesSent() const { return messagesSent_; }
+
+    /** Total queued+in-flight delay accumulated (diagnostics). */
+    Time totalDelay() const { return totalDelay_; }
+
+    /** Compute the delay this link would draw for @p bytes (test hook:
+     *  advances the RNG exactly like send()). */
+    Time sampleDelay(std::uint32_t bytes);
+
+  private:
+    Simulator &sim_;
+    Rng rng_;
+    Params params_;
+    std::uint64_t messagesSent_ = 0;
+    Time totalDelay_ = 0;
+};
+
+} // namespace net
+} // namespace tpv
+
+#endif // TPV_NET_LINK_HH

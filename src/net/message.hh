@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The unit of network traffic between workload generators and
+ * services, carrying the timestamps the measurement methodology
+ * argues about (paper Section II, "points of measurement").
+ */
+
+#ifndef TPV_NET_MESSAGE_HH
+#define TPV_NET_MESSAGE_HH
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace tpv {
+namespace net {
+
+/**
+ * One request or response. Small and trivially copyable: messages are
+ * passed by value through the simulated network.
+ */
+struct Message
+{
+    /** Request id; the response echoes it. */
+    std::uint64_t id = 0;
+    /** Connection the message belongs to (drives RSS / worker pinning). */
+    std::uint32_t conn = 0;
+    /** Wire size, for serialization delay. */
+    std::uint32_t bytes = 0;
+    /** Application-specific opcode (e.g. GET/SET). */
+    std::uint8_t kind = 0;
+    /** True for server -> client traffic. */
+    bool isResponse = false;
+
+    /**
+     * When the generator's application code issued the request —
+     * the in-app transmit timestamp of a mutilate-style generator.
+     */
+    Time appSendTime = 0;
+    /**
+     * When the open-loop schedule *wanted* the request sent; the gap
+     * to appSendTime is the client-side send distortion.
+     */
+    Time intendedSendTime = 0;
+    /** When the server finished building this response. */
+    Time serverDoneTime = 0;
+};
+
+/** Anything that can receive messages from a Link. */
+class Endpoint
+{
+  public:
+    virtual ~Endpoint() = default;
+
+    /** A message arrived at this endpoint's NIC. */
+    virtual void onMessage(const Message &msg) = 0;
+};
+
+} // namespace net
+} // namespace tpv
+
+#endif // TPV_NET_MESSAGE_HH

@@ -1,0 +1,146 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+
+EventHandle
+EventQueue::schedule(Time when, Callback cb)
+{
+    TPV_ASSERT(cb != nullptr, "scheduling a null callback");
+
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+
+    Slot &s = slots_[slot];
+    s.cb = std::move(cb);
+    s.active = true;
+    ++s.gen;
+
+    heap_.push_back(Entry{when, nextSeq_++, slot, s.gen});
+    siftUp(heap_.size() - 1);
+    ++live_;
+    return EventHandle{slot, s.gen};
+}
+
+bool
+EventQueue::cancel(EventHandle h)
+{
+    if (!pending(h))
+        return false;
+    Slot &s = slots_[h.slot];
+    s.active = false;
+    s.cb = nullptr;
+    --live_;
+    // The heap entry stays behind and is skimmed off lazily; the slot is
+    // only recycled once its stale heap entry has been popped, so the
+    // generation check in pending() stays sound.
+    return true;
+}
+
+bool
+EventQueue::pending(EventHandle h) const
+{
+    return h.valid() && h.slot < slots_.size() &&
+           slots_[h.slot].gen == h.gen && slots_[h.slot].active;
+}
+
+void
+EventQueue::skim()
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.front();
+        const Slot &s = slots_[top.slot];
+        if (s.active && s.gen == top.gen)
+            return;
+        // Dead entry: recycle the slot now that its entry is leaving
+        // the heap.
+        freeSlots_.push_back(top.slot);
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+    }
+}
+
+Time
+EventQueue::nextTime()
+{
+    skim();
+    TPV_ASSERT(!heap_.empty(), "nextTime() on an empty event queue");
+    return heap_.front().when;
+}
+
+Time
+EventQueue::runNext()
+{
+    skim();
+    TPV_ASSERT(!heap_.empty(), "runNext() on an empty event queue");
+
+    const Entry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+
+    Slot &s = slots_[top.slot];
+    Callback cb = std::move(s.cb);
+    s.cb = nullptr;
+    s.active = false;
+    freeSlots_.push_back(top.slot);
+    --live_;
+    ++executed_;
+
+    cb();
+    return top.when;
+}
+
+void
+EventQueue::clear()
+{
+    heap_.clear();
+    slots_.clear();
+    freeSlots_.clear();
+    live_ = 0;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!(heap_[parent] > heap_[i]))
+            break;
+        std::swap(heap_[parent], heap_[i]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t left = 2 * i + 1;
+        std::size_t right = left + 1;
+        std::size_t smallest = i;
+        if (left < n && heap_[smallest] > heap_[left])
+            smallest = left;
+        if (right < n && heap_[smallest] > heap_[right])
+            smallest = right;
+        if (smallest == i)
+            return;
+        std::swap(heap_[i], heap_[smallest]);
+        i = smallest;
+    }
+}
+
+} // namespace tpv

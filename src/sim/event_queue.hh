@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cancellable discrete-event queue.
+ *
+ * The queue is a binary min-heap ordered by (time, insertion sequence),
+ * so events at the same instant execute in FIFO order — this determinism
+ * is what makes runs exactly reproducible for a given seed. Callbacks
+ * live in a slot table with generation counters; cancellation marks the
+ * slot dead and the heap entry is discarded lazily when popped.
+ */
+
+#ifndef TPV_SIM_EVENT_QUEUE_HH
+#define TPV_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace tpv {
+
+/**
+ * Opaque handle to a scheduled event, usable to cancel it.
+ * Default-constructed handles are invalid.
+ */
+struct EventHandle
+{
+    std::uint32_t slot = UINT32_MAX;
+    std::uint32_t gen = 0;
+
+    /** @return true if this handle ever referred to a scheduled event. */
+    bool valid() const { return slot != UINT32_MAX; }
+
+    bool operator==(const EventHandle &) const = default;
+};
+
+/**
+ * A time-ordered queue of callbacks. Not thread-safe: a simulation is
+ * a single logical timeline; cross-run parallelism is achieved by
+ * running independent Simulator instances on separate threads.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @return a handle that can cancel the event before it fires.
+     */
+    EventHandle schedule(Time when, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was still pending and is now cancelled.
+     */
+    bool cancel(EventHandle h);
+
+    /** @return true if a handle refers to a still-pending event. */
+    bool pending(EventHandle h) const;
+
+    /** @return true when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (non-cancelled, not yet executed) events. */
+    std::size_t size() const { return live_; }
+
+    /**
+     * Time of the earliest live event.
+     * @pre !empty()
+     */
+    Time nextTime();
+
+    /**
+     * Pop and run the earliest live event.
+     * @return the time the event fired at.
+     * @pre !empty()
+     */
+    Time runNext();
+
+    /** Drop every pending event (used when tearing down a run). */
+    void clear();
+
+    /** Total number of events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;
+        bool active = false;
+    };
+
+    /** Remove dead heap entries from the top. */
+    void skim();
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Entry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace tpv
+
+#endif // TPV_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,28 @@
+#include "sim/time.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tpv {
+
+std::string
+formatTime(Time t)
+{
+    char buf[64];
+    const double at = std::abs(static_cast<double>(t));
+    if (t == kTimeNever) {
+        return "never";
+    } else if (at >= static_cast<double>(kSecond)) {
+        std::snprintf(buf, sizeof(buf), "%.3fs", toSec(t));
+    } else if (at >= static_cast<double>(kMillisecond)) {
+        std::snprintf(buf, sizeof(buf), "%.3fms", toMsec(t));
+    } else if (at >= static_cast<double>(kMicrosecond)) {
+        std::snprintf(buf, sizeof(buf), "%.3fus", toUsec(t));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lldns",
+                      static_cast<long long>(t));
+    }
+    return buf;
+}
+
+} // namespace tpv

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Simulated-time representation for the tpv discrete-event simulator.
+ *
+ * All simulated time is kept as a signed 64-bit count of nanoseconds.
+ * A signed representation makes interval arithmetic (deltas, backoffs)
+ * safe, and 64 bits of nanoseconds covers ~292 simulated years, far
+ * beyond any experiment in this repository.
+ */
+
+#ifndef TPV_SIM_TIME_HH
+#define TPV_SIM_TIME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tpv {
+
+/** Simulated time / durations, in nanoseconds. */
+using Time = std::int64_t;
+
+/** One nanosecond, the base unit. */
+inline constexpr Time kNanosecond = 1;
+/** One microsecond in Time units. */
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+/** One millisecond in Time units. */
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+/** One second in Time units. */
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/** Sentinel for "no deadline / never". */
+inline constexpr Time kTimeNever = INT64_MAX;
+
+/** Build a duration from a (possibly fractional) count of nanoseconds. */
+constexpr Time
+nsec(double ns)
+{
+    return static_cast<Time>(ns);
+}
+
+/** Build a duration from a (possibly fractional) count of microseconds. */
+constexpr Time
+usec(double us)
+{
+    return static_cast<Time>(us * static_cast<double>(kMicrosecond));
+}
+
+/** Build a duration from a (possibly fractional) count of milliseconds. */
+constexpr Time
+msec(double ms)
+{
+    return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+/** Build a duration from a (possibly fractional) count of seconds. */
+constexpr Time
+seconds(double s)
+{
+    return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+/** Convert a duration to fractional microseconds (the paper's unit). */
+constexpr double
+toUsec(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/** Convert a duration to fractional milliseconds. */
+constexpr double
+toMsec(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/** Convert a duration to fractional seconds. */
+constexpr double
+toSec(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Human-readable rendering, e.g. "12.5us" or "3.2ms", for logs. */
+std::string formatTime(Time t);
+
+} // namespace tpv
+
+#endif // TPV_SIM_TIME_HH

@@ -1,0 +1,123 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    TPV_ASSERT(!xs.empty(), "mean of empty sample set");
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stdev(const std::vector<double> &xs)
+{
+    TPV_ASSERT(xs.size() >= 2, "stdev needs at least two samples");
+    const double m = mean(xs);
+    double ss = 0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+populationVariance(const std::vector<double> &xs)
+{
+    TPV_ASSERT(!xs.empty(), "variance of empty sample set");
+    const double m = mean(xs);
+    double ss = 0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return ss / static_cast<double>(xs.size());
+}
+
+double
+minValue(const std::vector<double> &xs)
+{
+    TPV_ASSERT(!xs.empty(), "min of empty sample set");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxValue(const std::vector<double> &xs)
+{
+    TPV_ASSERT(!xs.empty(), "max of empty sample set");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double>
+sorted(const std::vector<double> &xs)
+{
+    std::vector<double> ys(xs);
+    std::sort(ys.begin(), ys.end());
+    return ys;
+}
+
+double
+median(const std::vector<double> &xs)
+{
+    TPV_ASSERT(!xs.empty(), "median of empty sample set");
+    std::vector<double> ys = sorted(xs);
+    const std::size_t n = ys.size();
+    if (n % 2 == 1)
+        return ys[n / 2];
+    return 0.5 * (ys[n / 2 - 1] + ys[n / 2]);
+}
+
+double
+percentile(const std::vector<double> &xs, double p)
+{
+    TPV_ASSERT(!xs.empty(), "percentile of empty sample set");
+    TPV_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of [0,100]: ", p);
+    std::vector<double> ys = sorted(xs);
+    const std::size_t n = ys.size();
+    if (n == 1)
+        return ys[0];
+    const double rank = (p / 100.0) * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return ys[lo] + frac * (ys[hi] - ys[lo]);
+}
+
+Summary
+Summary::of(const std::vector<double> &xs)
+{
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty())
+        return s;
+    std::vector<double> ys = sorted(xs);
+    s.min = ys.front();
+    s.max = ys.back();
+    double sum = 0;
+    for (double x : ys)
+        sum += x;
+    s.mean = sum / static_cast<double>(ys.size());
+    if (ys.size() >= 2) {
+        double ss = 0;
+        for (double x : ys)
+            ss += (x - s.mean) * (x - s.mean);
+        s.stdev = std::sqrt(ss / static_cast<double>(ys.size() - 1));
+    }
+    // Reuse percentile() on the already sorted data: it re-sorts, but
+    // sorting sorted data is cheap and keeps one definition of the
+    // interpolation rule.
+    s.median = percentile(ys, 50.0);
+    s.p90 = percentile(ys, 90.0);
+    s.p95 = percentile(ys, 95.0);
+    s.p99 = percentile(ys, 99.0);
+    return s;
+}
+
+} // namespace stats
+} // namespace tpv

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Descriptive statistics over sample vectors.
+ *
+ * These helpers operate on plain std::vector<double> sample sets. The
+ * experiments gather one sample per run (paper Section III, "IID
+ * samples") and summarise with the functions here.
+ */
+
+#ifndef TPV_STATS_DESCRIPTIVE_HH
+#define TPV_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tpv {
+namespace stats {
+
+/** Arithmetic mean. @pre !xs.empty() */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Sample standard deviation (n-1 denominator, Bessel-corrected),
+ * matching what Jain's iteration formula (paper Eq. 3) expects.
+ * @pre xs.size() >= 2
+ */
+double stdev(const std::vector<double> &xs);
+
+/** Population variance helper (n denominator). @pre !xs.empty() */
+double populationVariance(const std::vector<double> &xs);
+
+/** Minimum value. @pre !xs.empty() */
+double minValue(const std::vector<double> &xs);
+
+/** Maximum value. @pre !xs.empty() */
+double maxValue(const std::vector<double> &xs);
+
+/**
+ * Median (average of the two central order statistics for even n).
+ * @pre !xs.empty()
+ */
+double median(const std::vector<double> &xs);
+
+/**
+ * Percentile via linear interpolation between closest ranks
+ * (the "linear" / type-7 definition used by numpy.percentile, which
+ * is what the paper's tooling reports for p99).
+ * @param p percentile in [0, 100].
+ * @pre !xs.empty()
+ */
+double percentile(const std::vector<double> &xs, double p);
+
+/** Sorted copy of the input. */
+std::vector<double> sorted(const std::vector<double> &xs);
+
+/**
+ * One-pass summary of a sample set. Convenient for run results where
+ * we repeatedly need mean / p99 / stdev of the same vector.
+ */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0;
+    double stdev = 0;
+    double min = 0;
+    double max = 0;
+    double median = 0;
+    double p90 = 0;
+    double p95 = 0;
+    double p99 = 0;
+
+    /** Build a summary from raw samples (empty input -> all zeros). */
+    static Summary of(const std::vector<double> &xs);
+};
+
+} // namespace stats
+} // namespace tpv
+
+#endif // TPV_STATS_DESCRIPTIVE_HH

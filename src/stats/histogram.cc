@@ -1,0 +1,98 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace tpv {
+namespace stats {
+
+Histogram::Histogram(double lo, double width, std::size_t bins)
+    : lo_(lo), width_(width), counts_(bins, 0)
+{
+    TPV_ASSERT(width > 0, "histogram bin width must be positive");
+    TPV_ASSERT(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    samples_.push_back(x);
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    const double offset = (x - lo_) / width_;
+    const auto idx = static_cast<std::size_t>(offset);
+    if (idx >= counts_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[idx];
+}
+
+void
+Histogram::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+std::size_t
+Histogram::count(std::size_t i) const
+{
+    TPV_ASSERT(i < counts_.size(), "histogram bin out of range");
+    return counts_[i];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + static_cast<double>(i) * width_;
+}
+
+std::size_t
+Histogram::medianBin() const
+{
+    TPV_ASSERT(total_ > 0, "median bin of empty histogram");
+    const double med = median(samples_);
+    if (med < lo_)
+        return 0;
+    const auto idx = static_cast<std::size_t>((med - lo_) / width_);
+    return std::min(idx, counts_.size());
+}
+
+std::string
+Histogram::render(std::size_t maxWidth) const
+{
+    std::size_t maxCount = std::max<std::size_t>(overflow_, 1);
+    for (std::size_t c : counts_)
+        maxCount = std::max(maxCount, c);
+
+    const std::size_t medBin = total_ > 0 ? medianBin() : counts_.size() + 1;
+
+    std::string out;
+    char line[256];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t bar = counts_[i] * maxWidth / maxCount;
+        std::snprintf(line, sizeof(line), "%10.1f |%-*s %zu%s\n",
+                      binLow(i), static_cast<int>(maxWidth),
+                      std::string(bar, '#').c_str(), counts_[i],
+                      i == medBin ? "  <-- median" : "");
+        out += line;
+    }
+    const std::size_t bar = overflow_ * maxWidth / maxCount;
+    std::snprintf(line, sizeof(line), "%10s |%-*s %zu%s\n", "More",
+                  static_cast<int>(maxWidth),
+                  std::string(bar, '#').c_str(), overflow_,
+                  medBin == counts_.size() ? "  <-- median" : "");
+    out += line;
+    return out;
+}
+
+} // namespace stats
+} // namespace tpv

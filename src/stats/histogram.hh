@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-bin frequency chart, the structure behind the paper's
+ * Figure 9 (per-run average response times binned at 1 us with a
+ * trailing "More" overflow bin, median bin highlighted).
+ */
+
+#ifndef TPV_STATS_HISTOGRAM_HH
+#define TPV_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tpv {
+namespace stats {
+
+/**
+ * A histogram with uniform bins plus underflow/overflow buckets.
+ * Bin i covers [lo + i*width, lo + (i+1)*width).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin.
+     * @param width bin width (> 0).
+     * @param bins number of regular bins (>= 1).
+     */
+    Histogram(double lo, double width, std::size_t bins);
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Add many observations. */
+    void addAll(const std::vector<double> &xs);
+
+    /** Count in regular bin @p i. */
+    std::size_t count(std::size_t i) const;
+
+    /** Observations below the first bin. */
+    std::size_t underflow() const { return underflow_; }
+
+    /** Observations at or beyond the last bin edge ("More"). */
+    std::size_t overflow() const { return overflow_; }
+
+    /** Total observations added. */
+    std::size_t total() const { return total_; }
+
+    /** Number of regular bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Left edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Index of the regular bin containing the sample median, or
+     *  bins() when the median falls in the overflow bucket. */
+    std::size_t medianBin() const;
+
+    /**
+     * Render an ASCII frequency chart like the paper's Figure 9, with
+     * the median bin marked. @p maxWidth is the bar width in chars.
+     */
+    std::string render(std::size_t maxWidth = 40) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+    std::vector<double> samples_; // retained for the median marker
+};
+
+} // namespace stats
+} // namespace tpv
+
+#endif // TPV_STATS_HISTOGRAM_HH

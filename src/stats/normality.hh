@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Anderson-Darling goodness-of-fit tests: normality (complements
+ * Shapiro-Wilk for Figure 8-style analyses) and exponentiality (the
+ * check Lancet applies to request inter-arrival times, paper
+ * Section VII).
+ */
+
+#ifndef TPV_STATS_NORMALITY_HH
+#define TPV_STATS_NORMALITY_HH
+
+#include <vector>
+
+namespace tpv {
+namespace stats {
+
+/** Result of an Anderson-Darling test. */
+struct AndersonDarlingResult
+{
+    /** The A^2 statistic adjusted for estimated parameters. */
+    double aSquared = 0;
+    /** Approximate p-value (D'Agostino-Stephens formulas). */
+    double pValue = 0;
+
+    /** Does the sample pass the fit at significance @p alpha? */
+    bool passesAt(double alpha = 0.05) const { return pValue >= alpha; }
+};
+
+/**
+ * Anderson-Darling test for normality with estimated mean/variance
+ * (Stephens "case 3" small-sample adjustment).
+ * @pre xs.size() >= 8 and not all values equal.
+ */
+AndersonDarlingResult andersonDarlingNormal(const std::vector<double> &xs);
+
+/** Result of the exponentiality test. */
+struct AndersonDarlingExpResult
+{
+    /** A^2 adjusted for an estimated mean. */
+    double aSquared = 0;
+    /** 5% critical value for the exponential with estimated mean. */
+    double criticalValue5 = 1.321;
+
+    /** @return true when exponential fit is not rejected at 5%. */
+    bool exponentialAt5() const { return aSquared < criticalValue5; }
+};
+
+/**
+ * Anderson-Darling test for exponentiality with estimated mean —
+ * Lancet's check that an open-loop generator's inter-arrival times
+ * actually follow the requested exponential distribution.
+ * @pre xs.size() >= 8, all values > 0.
+ */
+AndersonDarlingExpResult
+andersonDarlingExponential(const std::vector<double> &xs);
+
+} // namespace stats
+} // namespace tpv
+
+#endif // TPV_STATS_NORMALITY_HH

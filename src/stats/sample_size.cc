@@ -1,0 +1,81 @@
+#include "stats/sample_size.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "stats/ci.hh"
+#include "stats/descriptive.hh"
+#include "stats/normal.hh"
+
+namespace tpv {
+namespace stats {
+
+std::uint64_t
+jainIterations(const std::vector<double> &xs, double errorPercent,
+               double level)
+{
+    TPV_ASSERT(xs.size() >= 2, "Jain estimate needs >= 2 pilot samples");
+    TPV_ASSERT(errorPercent > 0, "error percentage must be positive");
+    const double x = mean(xs);
+    TPV_ASSERT(x != 0, "Jain estimate undefined for zero mean");
+    const double s = stdev(xs);
+    const double z = zForConfidence(level);
+    const double n = 100.0 * z * s / (errorPercent * std::abs(x));
+    const double n2 = n * n;
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(n2)));
+}
+
+ConfirmResult
+confirmIterations(const std::vector<double> &xs, const ConfirmConfig &cfg)
+{
+    TPV_ASSERT(static_cast<int>(xs.size()) >= cfg.minSubset,
+               "CONFIRM needs at least ", cfg.minSubset, " samples, got ",
+               xs.size());
+    TPV_ASSERT(cfg.rounds > 0, "CONFIRM needs at least one round");
+
+    Rng rng(cfg.seed);
+    const double med = median(xs);
+    TPV_ASSERT(med != 0, "CONFIRM undefined for zero median");
+
+    ConfirmResult result;
+    std::vector<double> pool(xs);
+
+    for (int s = cfg.minSubset; s <= static_cast<int>(xs.size()); ++s) {
+        double sumLo = 0, sumHi = 0;
+        for (int round = 0; round < cfg.rounds; ++round) {
+            // Fisher-Yates partial shuffle: the first s entries become
+            // a uniformly random s-subset in random order.
+            for (int i = 0; i < s; ++i) {
+                const auto j = static_cast<std::size_t>(rng.uniformInt(
+                    i, static_cast<std::int64_t>(pool.size()) - 1));
+                std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+            }
+            std::vector<double> subset(pool.begin(), pool.begin() + s);
+            const ConfInterval ci = nonparametricMedianCI(subset, cfg.level);
+            sumLo += ci.lower;
+            sumHi += ci.upper;
+        }
+        const double meanLo = sumLo / cfg.rounds;
+        const double meanHi = sumHi / cfg.rounds;
+        const double err =
+            std::max(std::abs(med - meanLo), std::abs(meanHi - med)) /
+            std::abs(med);
+        if (err <= cfg.targetError) {
+            result.iterations = static_cast<std::uint64_t>(s);
+            result.achievedError = err;
+            result.saturated = false;
+            return result;
+        }
+        result.achievedError = err;
+    }
+
+    // Could not converge within the available samples: report ">n".
+    result.iterations = xs.size();
+    result.saturated = true;
+    return result;
+}
+
+} // namespace stats
+} // namespace tpv

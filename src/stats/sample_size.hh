@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Repetition-count estimators (paper Section III "Sample Size for
+ * Determining Mean/Median" and Table IV):
+ *
+ *  - Jain's closed-form parametric formula (paper Eq. 3), assuming
+ *    normally distributed samples.
+ *  - The CONFIRM non-parametric resampling procedure (Maricq et al.,
+ *    OSDI'18), which the paper uses when normality fails.
+ */
+
+#ifndef TPV_STATS_SAMPLE_SIZE_HH
+#define TPV_STATS_SAMPLE_SIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace tpv {
+namespace stats {
+
+/**
+ * Jain's parametric repetition estimate (paper Eq. 3):
+ *   n = (100 * z * s / (r * x))^2
+ * @param xs pilot samples used to estimate mean x and stdev s.
+ * @param errorPercent r, the tolerated % error from the mean (1 = 1%).
+ * @param level confidence level (0.95 -> z = 1.96).
+ * @return required repetitions, rounded up, at least 1.
+ * @pre xs.size() >= 2
+ */
+std::uint64_t jainIterations(const std::vector<double> &xs,
+                             double errorPercent = 1.0,
+                             double level = 0.95);
+
+/** Configuration for the CONFIRM procedure. */
+struct ConfirmConfig
+{
+    /** Resampling rounds per subset size (original paper uses 200). */
+    int rounds = 200;
+    /** Smallest subset that can estimate a non-parametric CI. */
+    int minSubset = 10;
+    /** Target relative error (0.01 = 1%). */
+    double targetError = 0.01;
+    /** Confidence level for the inner non-parametric CIs. */
+    double level = 0.95;
+    /** Seed for the deterministic shuffles. */
+    std::uint64_t seed = 0xC0FF1D5EEDULL;
+};
+
+/** Outcome of a CONFIRM estimation. */
+struct ConfirmResult
+{
+    /** Estimated repetitions; == maxed-out value when not converged. */
+    std::uint64_t iterations = 0;
+    /**
+     * True when even the full sample set failed to reach the target
+     * error — Table IV reports these entries as ">50".
+     */
+    bool saturated = false;
+    /** Relative error achieved at the returned subset size. */
+    double achievedError = 0;
+};
+
+/**
+ * CONFIRM (paper Section III): for growing subset size s, repeatedly
+ * shuffle the sample set, take the first s values, compute the
+ * non-parametric median CI, and average the bounds across rounds; the
+ * first s whose mean bounds are within the target error of the median
+ * is the required repetition count.
+ *
+ * @param xs the full set of per-run samples (e.g. 50 run averages).
+ * @pre xs.size() >= cfg.minSubset
+ */
+ConfirmResult confirmIterations(const std::vector<double> &xs,
+                                const ConfirmConfig &cfg = {});
+
+} // namespace stats
+} // namespace tpv
+
+#endif // TPV_STATS_SAMPLE_SIZE_HH

@@ -1,0 +1,146 @@
+#include "stats/shapiro_wilk.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "stats/normal.hh"
+
+namespace tpv {
+namespace stats {
+
+namespace {
+
+/** Evaluate a polynomial c[0] + c[1]*x + c[2]*x^2 + ... */
+double
+poly(const double *c, int n, double x)
+{
+    double r = 0;
+    for (int i = n - 1; i >= 0; --i)
+        r = r * x + c[i];
+    return r;
+}
+
+} // namespace
+
+ShapiroWilkResult
+shapiroWilk(const std::vector<double> &xs)
+{
+    const auto n = static_cast<int>(xs.size());
+    TPV_ASSERT(n >= 3, "Shapiro-Wilk needs at least 3 samples");
+    TPV_ASSERT(n <= 5000, "Shapiro-Wilk (AS R94) is valid up to n=5000");
+
+    std::vector<double> x(xs);
+    std::sort(x.begin(), x.end());
+
+    ShapiroWilkResult res;
+    if (x.back() - x.front() <= 0) {
+        // Constant data: the statistic is undefined; report failure.
+        res.w = 1.0;
+        res.pValue = 0.0;
+        return res;
+    }
+
+    // Blom plotting positions -> expected normal order statistics m_i.
+    std::vector<double> m(static_cast<std::size_t>(n));
+    for (int i = 1; i <= n; ++i) {
+        m[static_cast<std::size_t>(i - 1)] = normalQuantile(
+            (static_cast<double>(i) - 0.375) / (static_cast<double>(n) + 0.25));
+    }
+    double ssm = 0;
+    for (double mi : m)
+        ssm += mi * mi;
+
+    // Weights a_i per Royston 1995.
+    std::vector<double> a(static_cast<std::size_t>(n));
+    const double rsn = 1.0 / std::sqrt(static_cast<double>(n));
+    const double mn = m[static_cast<std::size_t>(n - 1)];
+    const double mn1 = n > 1 ? m[static_cast<std::size_t>(n - 2)] : 0.0;
+
+    if (n == 3) {
+        a[0] = -std::sqrt(0.5);
+        a[2] = std::sqrt(0.5);
+        a[1] = 0.0;
+    } else {
+        // Polynomial corrections for the two extreme weights.
+        static const double c1[6] = {0.0,       0.221157,  -0.147981,
+                                     -2.071190, 4.434685,  -2.706056};
+        static const double c2[6] = {0.0,       0.042981,  -0.293762,
+                                     -1.752461, 5.682633,  -3.582633};
+        const double an =
+            poly(c1, 6, rsn) + mn / std::sqrt(ssm);
+        const double an1 =
+            poly(c2, 6, rsn) + mn1 / std::sqrt(ssm);
+
+        double phi;
+        if (n > 5) {
+            phi = (ssm - 2.0 * mn * mn - 2.0 * mn1 * mn1) /
+                  (1.0 - 2.0 * an * an - 2.0 * an1 * an1);
+            a[static_cast<std::size_t>(n - 1)] = an;
+            a[0] = -an;
+            a[static_cast<std::size_t>(n - 2)] = an1;
+            a[1] = -an1;
+            for (int i = 3; i <= n - 2; ++i) {
+                a[static_cast<std::size_t>(i - 1)] =
+                    m[static_cast<std::size_t>(i - 1)] / std::sqrt(phi);
+            }
+        } else {
+            phi = (ssm - 2.0 * mn * mn) / (1.0 - 2.0 * an * an);
+            a[static_cast<std::size_t>(n - 1)] = an;
+            a[0] = -an;
+            for (int i = 2; i <= n - 1; ++i) {
+                a[static_cast<std::size_t>(i - 1)] =
+                    m[static_cast<std::size_t>(i - 1)] / std::sqrt(phi);
+            }
+        }
+    }
+
+    // W statistic.
+    double xbar = 0;
+    for (double v : x)
+        xbar += v;
+    xbar /= n;
+
+    double num = 0, den = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        num += a[idx] * x[idx];
+        den += (x[idx] - xbar) * (x[idx] - xbar);
+    }
+    double w = num * num / den;
+    w = std::min(w, 1.0);
+    res.w = w;
+
+    // p-value per Royston's normalising transformations.
+    if (n == 3) {
+        static const double kPi6 = 1.90985931710274; // 6/pi
+        static const double kStqr = 1.04719755119660; // asin(sqrt(3/4))
+        double p = kPi6 * (std::asin(std::sqrt(w)) - kStqr);
+        res.pValue = std::clamp(p, 0.0, 1.0);
+        return res;
+    }
+
+    double mu, sigma, zstat;
+    if (n <= 11) {
+        const double nn = static_cast<double>(n);
+        const double gamma = -2.273 + 0.459 * nn;
+        const double y = -std::log(gamma - std::log1p(-w));
+        mu = 0.5440 - 0.39978 * nn + 0.025054 * nn * nn -
+             0.0006714 * nn * nn * nn;
+        sigma = std::exp(1.3822 - 0.77857 * nn + 0.062767 * nn * nn -
+                         0.0020322 * nn * nn * nn);
+        zstat = (y - mu) / sigma;
+    } else {
+        const double u = std::log(static_cast<double>(n));
+        const double y = std::log1p(-w);
+        mu = -1.5861 - 0.31082 * u - 0.083751 * u * u +
+             0.0038915 * u * u * u;
+        sigma = std::exp(-0.4803 - 0.082676 * u + 0.0030302 * u * u);
+        zstat = (y - mu) / sigma;
+    }
+    res.pValue = std::clamp(normalSf(zstat), 0.0, 1.0);
+    return res;
+}
+
+} // namespace stats
+} // namespace tpv

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shapiro-Wilk W test for normality (paper Section III / Figure 8).
+ *
+ * Implements Royston's 1995 algorithm (AS R94), the same algorithm
+ * behind scipy.stats.shapiro, valid for 3 <= n <= 5000. The paper
+ * applies the test to the 50 per-run latency samples of each of its
+ * 42 configurations and rejects normality when p < 0.05.
+ */
+
+#ifndef TPV_STATS_SHAPIRO_WILK_HH
+#define TPV_STATS_SHAPIRO_WILK_HH
+
+#include <vector>
+
+namespace tpv {
+namespace stats {
+
+/** Result of a Shapiro-Wilk test. */
+struct ShapiroWilkResult
+{
+    /** The W statistic in (0, 1]; near 1 means near-normal. */
+    double w = 0;
+    /** p-value for the null hypothesis "samples are normal". */
+    double pValue = 0;
+
+    /**
+     * Convenience: does the sample pass normality at @p alpha?
+     * (The paper's Figure 8 threshold is alpha = 0.05.)
+     */
+    bool normalAt(double alpha = 0.05) const { return pValue >= alpha; }
+};
+
+/**
+ * Run the Shapiro-Wilk test.
+ * @param xs samples, any order; 3 <= xs.size() <= 5000.
+ * @note For degenerate input (all values identical) W is undefined;
+ *       we return w = 1, p = 0 (constant data is "not normal" in the
+ *       sense that the test cannot support normality).
+ */
+ShapiroWilkResult shapiroWilk(const std::vector<double> &xs);
+
+} // namespace stats
+} // namespace tpv
+
+#endif // TPV_STATS_SHAPIRO_WILK_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * HDSearch service model (paper Section IV-B): MicroSuite's image
+ * similarity search, structured as a three-tier service — client,
+ * midtier, and bucket (leaf) servers — communicating over RPC. The
+ * midtier fans a query out to LSH bucket shards and aggregates the
+ * near-neighbour results; end-to-end latency is in the
+ * hundreds-of-microseconds to millisecond range, ~10x-100x
+ * Memcached's, which is what makes it insensitive to client-side
+ * configuration (Figure 4).
+ */
+
+#ifndef TPV_SVC_HDSEARCH_HH
+#define TPV_SVC_HDSEARCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "hw/machine.hh"
+#include "net/link.hh"
+#include "net/message.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "svc/service.hh"
+#include "svc/worker_pool.hh"
+
+namespace tpv {
+namespace svc {
+
+/** Tunables for the HDSearch cluster. */
+struct HdSearchParams
+{
+    /** Midtier request-handler threads. */
+    int midtierWorkers = 8;
+    /** Bucket-server threads (the LSH shard scan pool). */
+    int bucketWorkers = 8;
+    /** Shards each query fans out to. */
+    int fanout = 4;
+    /** Midtier work before the fan-out (parse, LSH hash). */
+    Time midPreWork = usec(40);
+    /** Midtier work per returned shard result (merge). */
+    Time midMergeWork = usec(8);
+    /** Midtier work after the last shard result (top-k, marshal). */
+    Time midPostWork = usec(30);
+    /** Leaf scan time per shard. */
+    Time bucketMean = usec(300);
+    Time bucketSd = usec(90);
+    /** Intra-cluster hop (midtier <-> bucket). */
+    net::Link::Params interLink{};
+    std::uint32_t subRequestBytes = 256;
+    std::uint32_t subResponseBytes = 1024;
+    std::uint32_t responseBytes = 2048;
+    /** Per-run environment factor sd on service times. */
+    double runVariability = 0.015;
+};
+
+/**
+ * The HDSearch cluster: owns the midtier and bucket machines and the
+ * links between them; looks like a single Endpoint to the client.
+ * Both machines share the server-side HwConfig, so the SMT / C1E
+ * studies of Figure 4 toggle the knob on every tier.
+ */
+class HdSearchCluster : public net::Endpoint
+{
+  public:
+    /**
+     * @param serverCfg hardware config applied to midtier and bucket.
+     * @param replyLink link carrying final responses to the client.
+     */
+    HdSearchCluster(Simulator &sim, const hw::HwConfig &serverCfg,
+                    net::Link &replyLink, net::Endpoint &client, Rng rng,
+                    HdSearchParams params = {});
+
+    /** Client request arrives at the midtier NIC. */
+    void onMessage(const net::Message &req) override;
+
+    const ServiceStats &stats() const { return stats_; }
+    const HdSearchParams &params() const { return params_; }
+
+    hw::Machine &midtier() { return *midtier_; }
+    hw::Machine &bucket() { return *bucket_; }
+
+    /** This run's service-time environment factor. */
+    double envFactor() const { return envFactor_; }
+
+  private:
+    /** Endpoint adapter for messages arriving at the bucket tier. */
+    struct BucketPort : net::Endpoint
+    {
+        explicit BucketPort(HdSearchCluster &o) : owner(o) {}
+        void onMessage(const net::Message &m) override
+        {
+            owner.onBucketRequest(m);
+        }
+        HdSearchCluster &owner;
+    };
+
+    /** Endpoint adapter for shard replies arriving back at midtier. */
+    struct MergePort : net::Endpoint
+    {
+        explicit MergePort(HdSearchCluster &o) : owner(o) {}
+        void onMessage(const net::Message &m) override
+        {
+            owner.onShardReply(m);
+        }
+        HdSearchCluster &owner;
+    };
+
+    struct PendingQuery
+    {
+        net::Message request;
+        int remaining = 0;
+    };
+
+    void startQuery(const net::Message &req);
+    void onBucketRequest(const net::Message &sub);
+    void onShardReply(const net::Message &sub);
+    void finishQuery(const net::Message &req);
+
+    /** Sub-request ids embed the parent id. */
+    std::uint64_t subId(std::uint64_t parent, int shard) const;
+    std::uint64_t parentOf(std::uint64_t sub) const;
+
+    Simulator &sim_;
+    HdSearchParams params_;
+    net::Link &replyLink_;
+    net::Endpoint &client_;
+    Rng rng_;
+    double envFactor_ = 1.0;
+    std::unique_ptr<hw::Machine> midtier_;
+    std::unique_ptr<hw::Machine> bucket_;
+    WorkerPool midPool_;
+    WorkerPool bucketPool_;
+    net::Link toBucket_;
+    net::Link toMidtier_;
+    BucketPort bucketPort_;
+    MergePort mergePort_;
+    std::unordered_map<std::uint64_t, PendingQuery> pending_;
+    ServiceStats stats_;
+};
+
+} // namespace svc
+} // namespace tpv
+
+#endif // TPV_SVC_HDSEARCH_HH

@@ -1,0 +1,76 @@
+#include "svc/memcached.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpv {
+namespace svc {
+
+std::uint32_t
+EtcModel::sampleKeyBytes(Rng &rng) const
+{
+    const double k = rng.generalizedExtremeValue(keyMu, keySigma, keyXi);
+    return static_cast<std::uint32_t>(std::clamp(k, 1.0, 250.0));
+}
+
+std::uint32_t
+EtcModel::sampleValueBytes(Rng &rng) const
+{
+    const double v = rng.generalizedPareto(valueMu, valueSigma, valueXi);
+    return static_cast<std::uint32_t>(std::clamp(v, 1.0, valueMax));
+}
+
+MemcachedOp
+EtcModel::sampleOp(Rng &rng) const
+{
+    return rng.chance(getFraction) ? MemcachedOp::Get : MemcachedOp::Set;
+}
+
+std::uint32_t
+EtcModel::requestBytes(MemcachedOp op, std::uint32_t key,
+                       std::uint32_t value) const
+{
+    const std::uint32_t overhead = 24; // binary protocol header
+    if (op == MemcachedOp::Get)
+        return overhead + key;
+    return overhead + key + value;
+}
+
+MemcachedServer::MemcachedServer(Simulator &sim, hw::Machine &machine,
+                                 net::Link &replyLink,
+                                 net::Endpoint &client, Rng rng,
+                                 MemcachedParams params)
+    : SingleTierServer(sim, machine, replyLink, client, params.workers,
+                       rng, params.runVariability),
+      params_(params)
+{
+}
+
+Time
+MemcachedServer::serviceWork(const net::Message &req, Rng &rng)
+{
+    const auto base = static_cast<double>(params_.baseServiceTime);
+    const auto sd = static_cast<double>(params_.serviceTimeSd);
+    Time work = static_cast<Time>(rng.lognormalMeanSd(base, sd));
+
+    // The value is sampled at service time: GETs pay to read and copy
+    // it into the response; SETs pay to store it plus bookkeeping.
+    lastValueBytes_ = params_.etc.sampleValueBytes(rng);
+    work += static_cast<Time>(params_.nsPerValueByte *
+                              static_cast<double>(lastValueBytes_));
+    if (static_cast<MemcachedOp>(req.kind) == MemcachedOp::Set)
+        work += params_.setExtraTime;
+    return work;
+}
+
+std::uint32_t
+MemcachedServer::responseBytes(const net::Message &req, Rng &rng)
+{
+    (void)rng;
+    if (static_cast<MemcachedOp>(req.kind) == MemcachedOp::Get)
+        return params_.responseOverhead + lastValueBytes_;
+    return params_.responseOverhead; // SET: status only
+}
+
+} // namespace svc
+} // namespace tpv

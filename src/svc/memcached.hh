@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Memcached service model (paper Section IV-B): a lightweight
+ * key-value store with ~10 us server-side processing time, 10 worker
+ * threads pinned on one socket, serving the Facebook ETC workload
+ * mix (Atikoglu et al., SIGMETRICS'12) that the paper drives through
+ * mutilate.
+ */
+
+#ifndef TPV_SVC_MEMCACHED_HH
+#define TPV_SVC_MEMCACHED_HH
+
+#include "svc/service.hh"
+
+namespace tpv {
+namespace svc {
+
+/** Request opcodes for Message::kind. */
+enum class MemcachedOp : std::uint8_t { Get = 0, Set = 1 };
+
+/**
+ * ETC workload constants: mutilate's fb_key / fb_value fits of the
+ * Facebook ETC pool.
+ */
+struct EtcModel
+{
+    /** P(GET); ETC is ~30:1 GET:SET. */
+    double getFraction = 0.968;
+    /** Key size: GEV(mu, sigma, xi) in bytes. */
+    double keyMu = 30.7984;
+    double keySigma = 8.20449;
+    double keyXi = 0.078688;
+    /** Value size: GPD(mu, sigma, xi) in bytes. */
+    double valueMu = 15.0;
+    double valueSigma = 214.476;
+    double valueXi = 0.348238;
+    /** Clamp for pathological GPD draws. */
+    double valueMax = 8192.0;
+
+    /** Draw a key size in bytes. */
+    std::uint32_t sampleKeyBytes(Rng &rng) const;
+    /** Draw a value size in bytes. */
+    std::uint32_t sampleValueBytes(Rng &rng) const;
+    /** Draw an opcode. */
+    MemcachedOp sampleOp(Rng &rng) const;
+    /** Wire size of a request with the drawn key/value. */
+    std::uint32_t requestBytes(MemcachedOp op, std::uint32_t key,
+                               std::uint32_t value) const;
+};
+
+/** Tunables for the Memcached service model. */
+struct MemcachedParams
+{
+    /** Paper: "10 worker threads pinned on a single socket". */
+    int workers = 10;
+    /**
+     * Base processing time; with the value-copy term below the mean
+     * lands near the ~10 us server-side time the paper cites [4],[7].
+     */
+    Time baseServiceTime = usec(8);
+    Time serviceTimeSd = usec(2.5);
+    /** memcpy-ish cost per value byte. */
+    double nsPerValueByte = 2.0;
+    /** Extra work for a SET (allocation + LRU update). */
+    Time setExtraTime = usec(2);
+    /** Protocol framing bytes on a response. */
+    std::uint32_t responseOverhead = 30;
+    /** Per-run environment factor sd on service times. */
+    double runVariability = 0.025;
+    EtcModel etc;
+};
+
+/**
+ * The Memcached server. GET responses carry an ETC-sampled value;
+ * service time scales with the value size.
+ */
+class MemcachedServer : public SingleTierServer
+{
+  public:
+    MemcachedServer(Simulator &sim, hw::Machine &machine,
+                    net::Link &replyLink, net::Endpoint &client, Rng rng,
+                    MemcachedParams params = {});
+
+    const MemcachedParams &params() const { return params_; }
+
+  protected:
+    Time serviceWork(const net::Message &req, Rng &rng) override;
+    std::uint32_t responseBytes(const net::Message &req,
+                                Rng &rng) override;
+
+  private:
+    MemcachedParams params_;
+    std::uint32_t lastValueBytes_ = 0;
+};
+
+} // namespace svc
+} // namespace tpv
+
+#endif // TPV_SVC_MEMCACHED_HH

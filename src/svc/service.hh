@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Common service-side types: stats and the single-tier server runtime
+ * shared by Memcached and the synthetic workload.
+ */
+
+#ifndef TPV_SVC_SERVICE_HH
+#define TPV_SVC_SERVICE_HH
+
+#include <cstdint>
+
+#include "hw/machine.hh"
+#include "net/link.hh"
+#include "net/message.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "svc/worker_pool.hh"
+
+namespace tpv {
+namespace svc {
+
+/** Counters every service exposes. */
+struct ServiceStats
+{
+    std::uint64_t requestsReceived = 0;
+    std::uint64_t responsesSent = 0;
+    /** Total nominal service work dispatched (utilisation numerator). */
+    Time serviceWorkDispatched = 0;
+};
+
+/**
+ * Single-tier request/response server: NIC IRQ -> worker queue ->
+ * service work -> transmit. Subclasses define per-request service
+ * work and response size.
+ *
+ * The request path per message:
+ *  1. uncore + IRQ/softirq work on the connection's IRQ thread
+ *     (sibling hardware thread when SMT is on);
+ *  2. service work + tx work FIFO-queued on the pinned worker thread
+ *     (queueing delay at high load arises here);
+ *  3. response sent down the reply link.
+ */
+class SingleTierServer : public net::Endpoint
+{
+  public:
+    /**
+     * @param replyLink link used for responses.
+     * @param client endpoint the responses go to.
+     * @param workers worker threads, pinned one per core.
+     * @param runVariability relative sd of the per-run environment
+     *        factor multiplying service times — the residual
+     *        machine-state variation (thermal, memory layout) that
+     *        survives environment resets and differentiates runs.
+     */
+    SingleTierServer(Simulator &sim, hw::Machine &machine,
+                     net::Link &replyLink, net::Endpoint &client,
+                     int workers, Rng rng, double runVariability = 0.0);
+
+    /** This run's service-time environment factor. */
+    double envFactor() const { return envFactor_; }
+
+    void onMessage(const net::Message &req) final;
+
+    /** Service counters. */
+    const ServiceStats &stats() const { return stats_; }
+
+    /** Worker pool (tests / diagnostics). */
+    WorkerPool &pool() { return pool_; }
+
+  protected:
+    /** Nominal CPU work to serve @p req. */
+    virtual Time serviceWork(const net::Message &req, Rng &rng) = 0;
+
+    /** Response wire size for @p req. */
+    virtual std::uint32_t responseBytes(const net::Message &req,
+                                        Rng &rng) = 0;
+
+    Simulator &sim_;
+    hw::Machine &machine_;
+
+  private:
+    void serve(const net::Message &req);
+
+    net::Link &replyLink_;
+    net::Endpoint &client_;
+    WorkerPool pool_;
+    Rng rng_;
+    double envFactor_ = 1.0;
+    ServiceStats stats_;
+    /** CPU cost of the transmit syscall path. */
+    Time txWork_ = nsec(500);
+};
+
+} // namespace svc
+} // namespace tpv
+
+#endif // TPV_SVC_SERVICE_HH

@@ -1,0 +1,74 @@
+#include "svc/socialnet.hh"
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace svc {
+
+SocialNetworkApp::SocialNetworkApp(Simulator &sim,
+                                   const hw::HwConfig &serverCfg,
+                                   net::Link &replyLink,
+                                   net::Endpoint &client, Rng rng,
+                                   SocialNetworkParams params)
+    : sim_(sim), params_(std::move(params)), replyLink_(replyLink),
+      client_(client), rng_(rng),
+      machine_(std::make_unique<hw::Machine>(sim, serverCfg, "socialnet",
+                                              rng_.u64())),
+      loopback_(sim, rng_.fork(), params_.loopback)
+{
+    TPV_ASSERT(!params_.stages.empty(), "Social Network needs stages");
+    if (params_.runVariability > 0)
+        envFactor_ = 1.0 + rng_.exponential(params_.runVariability);
+    for (const SocialStage &s : params_.stages) {
+        pools_.push_back(std::make_unique<WorkerPool>(*machine_, s.workers,
+                                                      s.firstCore));
+    }
+}
+
+void
+SocialNetworkApp::onMessage(const net::Message &msg)
+{
+    const auto stage = static_cast<std::size_t>(msg.kind);
+    TPV_ASSERT(stage < params_.stages.size(), "bad stage index");
+    if (stage == 0)
+        ++stats_.requestsReceived;
+    runStage(msg, stage);
+}
+
+void
+SocialNetworkApp::runStage(const net::Message &msg, std::size_t stage)
+{
+    WorkerPool &pool = *pools_[stage];
+    machine_->deliverIrq(
+        pool.irqThreadIndex(msg.conn), machine_->config().irqWork,
+        [this, msg, stage] {
+            const SocialStage &spec = params_.stages[stage];
+            const Time work = static_cast<Time>(
+                envFactor_ *
+                rng_.lognormalMeanSd(static_cast<double>(spec.workMean),
+                                     static_cast<double>(spec.workSd)));
+            stats_.serviceWorkDispatched += work;
+            pools_[stage]->serviceThread(msg.conn).submit(
+                work, [this, msg, stage] { advance(msg, stage); });
+        });
+}
+
+void
+SocialNetworkApp::advance(net::Message msg, std::size_t stage)
+{
+    if (stage + 1 < params_.stages.size()) {
+        msg.kind = static_cast<std::uint8_t>(stage + 1);
+        msg.bytes = params_.interBytes;
+        loopback_.send(msg, *this);
+        return;
+    }
+    msg.kind = 0;
+    msg.isResponse = true;
+    msg.bytes = params_.responseBytes;
+    msg.serverDoneTime = sim_.now();
+    ++stats_.responsesSent;
+    replyLink_.send(msg, client_);
+}
+
+} // namespace svc
+} // namespace tpv

@@ -1,0 +1,137 @@
+/** @file Tests for the Section VI recommendation engine. */
+
+#include "core/recommend.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+namespace tpv {
+namespace core {
+namespace {
+
+TEST(Recommend, TimeSensitiveGetsTunedClient)
+{
+    RecommendationInput in;
+    in.interarrival = loadgen::SendMode::BlockWait;
+    auto rec = recommendClientConfig(in);
+    // "For a time-sensitive interarrival time implementation, the
+    // client-side hardware configuration should be tuned for
+    // performance."
+    EXPECT_TRUE(rec.client.idlePoll);
+    EXPECT_EQ(rec.client.governor, hw::FreqGovernor::Performance);
+    EXPECT_FALSE(rec.representativenessCaveat);
+}
+
+TEST(Recommend, TunedClientAgainstLowPowerTargetCarriesCaveat)
+{
+    RecommendationInput in;
+    in.interarrival = loadgen::SendMode::BlockWait;
+    in.targetKnown = true;
+    in.targetUsesLowPower = true;
+    auto rec = recommendClientConfig(in);
+    EXPECT_TRUE(rec.client.idlePoll);
+    // "it may over- or under-estimate performance metrics ... and
+    // consequently affect any conclusions drawn".
+    EXPECT_TRUE(rec.representativenessCaveat);
+}
+
+TEST(Recommend, TimeInsensitiveMatchesKnownTarget)
+{
+    RecommendationInput in;
+    in.interarrival = loadgen::SendMode::BusyWait;
+    in.targetKnown = true;
+    in.targetUsesLowPower = true;
+    auto rec = recommendClientConfig(in);
+    // "The configuration of the client should match the configuration
+    // of the target environment."
+    EXPECT_FALSE(rec.client.idlePoll);
+    EXPECT_EQ(rec.client.governor, hw::FreqGovernor::Powersave);
+}
+
+TEST(Recommend, UnknownTargetSuggestsSpaceExploration)
+{
+    RecommendationInput in;
+    in.interarrival = loadgen::SendMode::BusyWait;
+    in.targetKnown = false;
+    auto rec = recommendClientConfig(in);
+    EXPECT_EQ(rec.explore.size(), 2u);
+}
+
+TEST(Recommend, RationaleIsNeverEmpty)
+{
+    for (auto mode :
+         {loadgen::SendMode::BlockWait, loadgen::SendMode::BusyWait}) {
+        RecommendationInput in;
+        in.interarrival = mode;
+        EXPECT_FALSE(recommendClientConfig(in).rationale.empty());
+    }
+}
+
+TEST(RecommendIterations, NormalPilotUsesParametric)
+{
+    Rng rng(3);
+    std::vector<double> pilot;
+    for (int i = 0; i < 50; ++i)
+        pilot.push_back(rng.normal(100, 2));
+    auto advice = recommendIterations(pilot);
+    EXPECT_EQ(advice.method, IterationMethod::Parametric);
+    EXPECT_GE(advice.iterations, 1u);
+}
+
+TEST(RecommendIterations, SkewedPilotUsesConfirm)
+{
+    Rng rng(5);
+    std::vector<double> pilot;
+    for (int i = 0; i < 50; ++i)
+        pilot.push_back(100.0 + rng.exponential(10));
+    auto advice = recommendIterations(pilot);
+    EXPECT_EQ(advice.method, IterationMethod::Confirm);
+    EXPECT_GE(advice.iterations, 10u);
+}
+
+TEST(RecommendIterations, NoisyPilotNeedsMoreThanQuietPilot)
+{
+    Rng rng(7);
+    std::vector<double> quiet, noisy;
+    for (int i = 0; i < 50; ++i) {
+        const double z = rng.normal(0, 1);
+        quiet.push_back(100.0 + 0.5 * z);
+        noisy.push_back(100.0 + 8.0 * z);
+    }
+    auto a = recommendIterations(quiet);
+    auto b = recommendIterations(noisy);
+    EXPECT_LT(a.iterations, b.iterations);
+}
+
+TEST(RecommendIterations, IidScreenOnPilot)
+{
+    // White-noise pilot passes; a random-walk pilot is flagged.
+    Rng rng(21);
+    std::vector<double> iid;
+    for (int i = 0; i < 50; ++i)
+        iid.push_back(rng.normal(100, 3));
+    EXPECT_TRUE(recommendIterations(iid).looksIid);
+
+    std::vector<double> walk{100};
+    for (int i = 0; i < 49; ++i)
+        walk.push_back(walk.back() + rng.normal(0, 3));
+    auto advice = recommendIterations(walk);
+    EXPECT_FALSE(advice.looksIid);
+    EXPECT_GT(advice.lag1Autocorrelation, 0.5);
+}
+
+TEST(RecommendIterations, ShapiroPValueReported)
+{
+    Rng rng(9);
+    std::vector<double> pilot;
+    for (int i = 0; i < 50; ++i)
+        pilot.push_back(rng.normal(10, 1));
+    auto advice = recommendIterations(pilot);
+    EXPECT_GT(advice.shapiroP, 0.0);
+    EXPECT_LE(advice.shapiroP, 1.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace tpv

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Property tests for the variable-speed execution engine: work
+ * conservation and timing bounds under randomized task interleavings
+ * across SMT siblings and frequency changes.
+ */
+
+#include "hw/machine.hh"
+#include "sim/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpv {
+namespace hw {
+namespace {
+
+class CoreProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CoreProperty, WorkIsConservedUnderRandomInterleavings)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+    Simulator sim;
+    HwConfig cfg;
+    cfg.cores = 2;
+    cfg.smt = true;
+    cfg.cstates = {CState::C0, CState::C1, CState::C1E, CState::C6};
+    cfg.governor = FreqGovernor::Powersave;
+    cfg.driver = FreqDriver::IntelPstate;
+    cfg.turbo = true;
+    cfg.tickless = false;
+    Machine m(sim, cfg);
+
+    Time submitted = 0;
+    int completions = 0;
+    const int tasks = 200;
+    for (int i = 0; i < tasks; ++i) {
+        const Time at = rng.uniformInt(0, msec(20));
+        const Time work = rng.uniformInt(0, usec(50));
+        const auto thr = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(m.threadCount()) - 1));
+        submitted += work;
+        sim.at(at, [&, thr, work] {
+            m.thread(thr).submit(work, [&] { ++completions; });
+        });
+    }
+    // Run far beyond the last submission: everything must finish even
+    // at minimum frequency with SMT contention.
+    sim.runUntil(msec(500));
+
+    EXPECT_EQ(completions, tasks);
+    Time completed = 0;
+    for (std::size_t t = 0; t < m.threadCount(); ++t)
+        completed += m.thread(t).workCompleted();
+    // Tick work also lands on the threads; completed >= submitted.
+    EXPECT_GE(completed, submitted);
+}
+
+TEST_P(CoreProperty, BusyTimeBoundedBySpeedEnvelope)
+{
+    // A single task of W nominal work must finish within
+    // [W / maxSpeed, W / minSpeed] of wall time from its start
+    // (plus the worst-case wake latency).
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    Simulator sim;
+    HwConfig cfg;
+    cfg.cores = 1;
+    cfg.smt = false;
+    cfg.cstates = {CState::C0, CState::C1, CState::C1E, CState::C6};
+    cfg.governor = FreqGovernor::Powersave;
+    cfg.driver = FreqDriver::IntelPstate;
+    cfg.turbo = false;
+    cfg.tickless = true;
+    Machine m(sim, cfg);
+
+    const Time work = rng.uniformInt(usec(10), usec(400));
+    const Time start = rng.uniformInt(0, msec(5));
+    Time doneAt = -1;
+    sim.at(start, [&] { m.thread(0).submit(work, [&] { doneAt = sim.now(); }); });
+    sim.run();
+
+    ASSERT_GT(doneAt, 0);
+    const double minSpeed = cfg.minGhz / cfg.nominalGhz;
+    const Time elapsed = doneAt - start;
+    const Time worstWake = usec(133);
+    EXPECT_GE(elapsed, work); // can never beat nominal speed (no turbo)
+    EXPECT_LE(elapsed,
+              static_cast<Time>(static_cast<double>(work) / minSpeed) +
+                  worstWake + usec(1));
+}
+
+TEST_P(CoreProperty, FifoOrderPreservedPerThread)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 11);
+    Simulator sim;
+    HwConfig cfg;
+    cfg.cores = 1;
+    cfg.smt = true;
+    cfg.cstates = {CState::C0, CState::C1E};
+    cfg.governor = FreqGovernor::Powersave;
+    cfg.tickless = true;
+    Machine m(sim, cfg);
+
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+        const Time at = rng.uniformInt(0, usec(200));
+        sim.at(at, [&, i] {
+            m.thread(0).submit(rng.uniformInt(0, usec(5)),
+                               [&order, i] { order.push_back(i); });
+        });
+    }
+    sim.run();
+    ASSERT_EQ(order.size(), 50u);
+    // Every submitted task completed exactly once.
+    std::vector<int> sorted(order);
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreProperty, ::testing::Range(1, 11));
+
+} // namespace
+} // namespace hw
+} // namespace tpv

@@ -1,0 +1,131 @@
+/** @file Tests for the C-state table and menu governor. */
+
+#include "hw/cstate.hh"
+#include "hw/idle_governor.hh"
+
+#include <gtest/gtest.h>
+
+namespace tpv {
+namespace hw {
+namespace {
+
+CStateTable
+lpTable()
+{
+    return CStateTable(HwConfig::clientLP());
+}
+
+TEST(CStateTable, EnabledSubsetOnly)
+{
+    CStateTable t(HwConfig::serverBaseline()); // C0 + C1
+    EXPECT_EQ(t.states().size(), 2u);
+    EXPECT_EQ(t.deepest().state, CState::C1);
+}
+
+TEST(CStateTable, IdlePollKeepsOnlyC0)
+{
+    CStateTable t(HwConfig::clientHP());
+    EXPECT_EQ(t.states().size(), 1u);
+    EXPECT_EQ(t.deepest().state, CState::C0);
+    EXPECT_EQ(t.deepestFor(seconds(10)).state, CState::C0);
+}
+
+TEST(CStateTable, DeepestForRespectsResidency)
+{
+    CStateTable t = lpTable();
+    EXPECT_EQ(t.deepestFor(0).state, CState::C0);
+    EXPECT_EQ(t.deepestFor(usec(2)).state, CState::C1);
+    EXPECT_EQ(t.deepestFor(usec(19)).state, CState::C1);
+    EXPECT_EQ(t.deepestFor(usec(20)).state, CState::C1E);
+    EXPECT_EQ(t.deepestFor(usec(599)).state, CState::C1E);
+    EXPECT_EQ(t.deepestFor(usec(600)).state, CState::C6);
+    EXPECT_EQ(t.deepestFor(seconds(1)).state, CState::C6);
+}
+
+TEST(CStateTable, ExitLatencyLookup)
+{
+    CStateTable t = lpTable();
+    EXPECT_EQ(t.exitLatency(CState::C0), 0);
+    EXPECT_EQ(t.exitLatency(CState::C1), usec(2));
+    EXPECT_EQ(t.exitLatency(CState::C1E), usec(10));
+    EXPECT_EQ(t.exitLatency(CState::C6), usec(133));
+}
+
+TEST(MenuGovernor, NoHistoryUsesTimerHint)
+{
+    CStateTable t = lpTable();
+    MenuGovernor g(t);
+    EXPECT_EQ(g.choose(msec(1)).state, CState::C6);
+    EXPECT_EQ(g.lastPrediction(), msec(1));
+}
+
+TEST(MenuGovernor, NoHintNoHistoryStaysShallow)
+{
+    CStateTable t = lpTable();
+    MenuGovernor g(t);
+    EXPECT_EQ(g.choose(kTimeNever).state, CState::C0);
+}
+
+TEST(MenuGovernor, HistoryCapsTimerHint)
+{
+    // The paper's LP-client pattern: the next-send timer is ~1ms out,
+    // but responses keep arriving after ~40us. After a few interrupted
+    // idles the governor must stop choosing C6.
+    CStateTable t = lpTable();
+    MenuGovernor g(t);
+    EXPECT_EQ(g.choose(msec(1)).state, CState::C6);
+    for (int i = 0; i < 8; ++i)
+        g.recordIdle(usec(40));
+    EXPECT_EQ(g.choose(msec(1)).state, CState::C1E);
+    EXPECT_EQ(g.lastPrediction(), usec(40));
+}
+
+TEST(MenuGovernor, LongIdleHistoryAllowsDeepState)
+{
+    CStateTable t = lpTable();
+    MenuGovernor g(t);
+    for (int i = 0; i < 8; ++i)
+        g.recordIdle(msec(2));
+    EXPECT_EQ(g.choose(msec(5)).state, CState::C6);
+}
+
+TEST(MenuGovernor, MedianIsRobustToOneOutlier)
+{
+    CStateTable t = lpTable();
+    MenuGovernor g(t);
+    for (int i = 0; i < 7; ++i)
+        g.recordIdle(usec(30));
+    g.recordIdle(seconds(1)); // one long gap must not flip the estimate
+    EXPECT_EQ(g.choose(kTimeNever).state, CState::C1E);
+}
+
+TEST(MenuGovernor, TimerHintStillCapsAfterHistory)
+{
+    CStateTable t = lpTable();
+    MenuGovernor g(t);
+    for (int i = 0; i < 8; ++i)
+        g.recordIdle(msec(10));
+    // History says "long", but a timer 5us out caps the prediction.
+    EXPECT_EQ(g.choose(usec(5)).state, CState::C1);
+}
+
+TEST(MenuGovernor, MixedHistoryTracksTypicalInterval)
+{
+    CStateTable t = lpTable();
+    MenuGovernor g(t);
+    // Bimodal history (short response waits interleaved with longer
+    // inter-send gaps): the outlier-discarding estimator converges on
+    // the short cluster, hedging away from the deepest state — the
+    // behaviour of Linux menu's get_typical_interval().
+    for (int i = 0; i < 4; ++i) {
+        g.recordIdle(usec(40));
+        g.recordIdle(usec(500));
+    }
+    auto &chosen = g.choose(msec(1));
+    EXPECT_EQ(chosen.state, CState::C1E);
+    EXPECT_EQ(g.lastPrediction(), usec(40));
+}
+
+} // namespace
+} // namespace hw
+} // namespace tpv

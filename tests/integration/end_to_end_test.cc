@@ -1,0 +1,155 @@
+/** @file Cross-module integration tests of the full pipeline. */
+
+#include "core/runner.hh"
+#include "core/study.hh"
+
+#include <gtest/gtest.h>
+
+namespace tpv {
+namespace core {
+namespace {
+
+ExperimentConfig
+quick(ExperimentConfig cfg)
+{
+    cfg.gen.warmup = msec(10);
+    cfg.gen.duration = msec(60);
+    return cfg;
+}
+
+TEST(EndToEnd, ConservationNoLostRequests)
+{
+    for (auto make : {+[] { return ExperimentConfig::forMemcached(50e3); },
+                      +[] { return ExperimentConfig::forSynthetic(5e3, usec(100)); }}) {
+        auto r = runOnce(quick(make()));
+        EXPECT_EQ(r.sent, r.received);
+    }
+}
+
+TEST(EndToEnd, HdSearchConservation)
+{
+    auto r = runOnce(quick(ExperimentConfig::forHdSearch(800)));
+    // Requests in flight at the window edge may still drain; allow a
+    // tiny difference but no loss beyond it.
+    EXPECT_LE(r.sent - r.received, 5u);
+}
+
+TEST(EndToEnd, ThroughputScalesWithOfferedLoad)
+{
+    auto a = runOnce(quick(ExperimentConfig::forMemcached(50e3)));
+    auto b = runOnce(quick(ExperimentConfig::forMemcached(100e3)));
+    const double ratio =
+        static_cast<double>(b.received) / static_cast<double>(a.received);
+    EXPECT_NEAR(ratio, 2.0, 0.15);
+}
+
+TEST(EndToEnd, LatencyRisesWithLoad)
+{
+    auto low = runOnce(quick(ExperimentConfig::forMemcached(50e3)));
+    auto high = runOnce(quick(ExperimentConfig::forMemcached(500e3)));
+    EXPECT_GT(high.p99Us(), low.p99Us());
+}
+
+TEST(EndToEnd, ClientWakesScaleWithRequests)
+{
+    auto cfg = quick(ExperimentConfig::forMemcached(50e3));
+    cfg.client = hw::HwConfig::clientLP();
+    auto r = runOnce(cfg);
+    // Block-wait clients wake at least ~once per request (send timer),
+    // plus ticks.
+    EXPECT_GT(r.clientHw.wakes, r.received);
+}
+
+TEST(EndToEnd, UncorePenaltiesOnlyOnDynamicUncore)
+{
+    auto cfg = quick(ExperimentConfig::forMemcached(10e3));
+    cfg.client = hw::HwConfig::clientLP(); // dynamic uncore
+    auto lp = runOnce(cfg);
+    cfg.client = hw::HwConfig::clientHP(); // fixed uncore
+    auto hp = runOnce(cfg);
+    EXPECT_EQ(hp.clientHw.uncoreWakePenalties, 0u);
+    (void)lp; // LP penalties depend on package idleness; just typed.
+}
+
+TEST(EndToEnd, FreqTransitionsOnlyUnderPowersave)
+{
+    auto cfg = quick(ExperimentConfig::forMemcached(50e3));
+    cfg.client = hw::HwConfig::clientLP();
+    auto lp = runOnce(cfg);
+    cfg.client = hw::HwConfig::clientHP();
+    auto hp = runOnce(cfg);
+    EXPECT_GT(lp.clientHw.freqTransitions, 100u);
+    // Performance-governed turbo cores only shift between turbo bins.
+    EXPECT_LT(hp.clientHw.freqTransitions,
+              lp.clientHw.freqTransitions / 10);
+}
+
+TEST(EndToEnd, OverloadDegradesGracefully)
+{
+    // Offered load beyond server capacity: the simulation must stay
+    // stable, queues grow, tail latency explodes, nothing is lost.
+    auto cfg = ExperimentConfig::forMemcached(900e3);
+    cfg.gen.warmup = msec(5);
+    cfg.gen.duration = msec(40);
+    auto r = runOnce(cfg);
+    EXPECT_GT(r.sent, 20000u);
+    EXPECT_LE(r.received, r.sent);
+    // Saturated server: p99 far above the unloaded service time.
+    EXPECT_GT(r.p99Us(), 200.0);
+}
+
+TEST(EndToEnd, TicklessClientSleepsDeeper)
+{
+    // With the periodic tick disabled, the LP client's cores can
+    // commit to longer sleeps; wake counts drop sharply.
+    auto cfg = quick(ExperimentConfig::forMemcached(10e3));
+    cfg.client = hw::HwConfig::clientLP(); // tickless = false
+    auto ticking = runOnce(cfg);
+    cfg.client.tickless = true;
+    auto tickless = runOnce(cfg);
+    EXPECT_LT(tickless.clientHw.wakes, ticking.clientHw.wakes);
+}
+
+/**
+ * Sweep the four workloads end-to-end under both clients: every
+ * combination must complete and produce ordered (LP >= HP) averages
+ * except the millisecond-scale apps where the difference fades.
+ */
+class WorkloadMatrix : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WorkloadMatrix, RunsCleanUnderBothClients)
+{
+    ExperimentConfig cfg;
+    switch (GetParam()) {
+      case 0:
+        cfg = ExperimentConfig::forMemcached(100e3);
+        break;
+      case 1:
+        cfg = ExperimentConfig::forHdSearch(1000);
+        break;
+      case 2:
+        cfg = ExperimentConfig::forSocialNetwork(300);
+        break;
+      default:
+        cfg = ExperimentConfig::forSynthetic(10e3, usec(100));
+        break;
+    }
+    cfg = quick(cfg);
+    cfg.client = hw::HwConfig::clientLP();
+    auto lp = runOnce(cfg);
+    cfg.client = hw::HwConfig::clientHP();
+    auto hp = runOnce(cfg);
+    EXPECT_GT(lp.received, 0u);
+    EXPECT_GT(hp.received, 0u);
+    // The LP client never measures *lower* latency than HP.
+    EXPECT_GE(lp.avgUs(), 0.95 * hp.avgUs());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadMatrix,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace core
+} // namespace tpv

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Integration tests pinning the paper's four findings (Section V).
+ * These use reduced runs/durations; the bench harness reproduces the
+ * full figures.
+ */
+
+#include "core/runner.hh"
+#include "stats/shapiro_wilk.hh"
+
+#include <gtest/gtest.h>
+
+namespace tpv {
+namespace core {
+namespace {
+
+RepeatedResult
+study(double qps, bool lpClient, const hw::HwConfig &server, int runs = 6)
+{
+    auto cfg = ExperimentConfig::forMemcached(qps);
+    cfg.client =
+        lpClient ? hw::HwConfig::clientLP() : hw::HwConfig::clientHP();
+    cfg.server = server;
+    cfg.gen.warmup = msec(10);
+    cfg.gen.duration = msec(100);
+    RunnerOptions opt;
+    opt.runs = runs;
+    opt.parallelism = 2;
+    return runMany(cfg, opt);
+}
+
+TEST(PaperShapes, Finding1_ClientConfigShiftsMeasurements)
+{
+    // Figure 2a: LP end-to-end measurements 80%-150% above HP.
+    const auto base = hw::HwConfig::serverBaseline();
+    auto lp = study(10e3, true, base);
+    auto hp = study(10e3, false, base);
+    const double ratio = lp.medianAvg() / hp.medianAvg();
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 3.5);
+    // And the p99 gap is at least as pronounced (Figure 2b).
+    EXPECT_GT(lp.medianP99() / hp.medianP99(), 1.5);
+}
+
+TEST(PaperShapes, Finding1_GapShrinksWithLoadButPersists)
+{
+    const auto base = hw::HwConfig::serverBaseline();
+    auto lpLow = study(10e3, true, base);
+    auto hpLow = study(10e3, false, base);
+    auto lpHigh = study(400e3, true, base);
+    auto hpHigh = study(400e3, false, base);
+    const double lowRatio = lpLow.medianAvg() / hpLow.medianAvg();
+    const double highRatio = lpHigh.medianAvg() / hpHigh.medianAvg();
+    EXPECT_GT(lowRatio, highRatio);
+    EXPECT_GT(highRatio, 1.1);
+}
+
+TEST(PaperShapes, Finding2_C1eSlowdownVisibleToHpClient)
+{
+    // Figure 3: enabling server C1E slows the service; the HP client
+    // resolves it clearly at low load (up to ~19% in the paper).
+    auto hpBase = study(10e3, false, hw::HwConfig::serverBaseline());
+    auto hpC1e = study(10e3, false, hw::HwConfig::serverC1eOn());
+    const double slowdown = hpC1e.medianAvg() / hpBase.medianAvg();
+    EXPECT_GT(slowdown, 1.05);
+    EXPECT_LT(slowdown, 1.35);
+}
+
+TEST(PaperShapes, Finding2_LpClientSeesSmallerC1eSlowdown)
+{
+    auto lpBase = study(10e3, true, hw::HwConfig::serverBaseline());
+    auto lpC1e = study(10e3, true, hw::HwConfig::serverC1eOn());
+    auto hpBase = study(10e3, false, hw::HwConfig::serverBaseline());
+    auto hpC1e = study(10e3, false, hw::HwConfig::serverC1eOn());
+    const double lpSlow = lpC1e.medianAvg() / lpBase.medianAvg();
+    const double hpSlow = hpC1e.medianAvg() / hpBase.medianAvg();
+    // The same absolute effect is diluted by LP's inflated baseline.
+    EXPECT_LT(lpSlow, hpSlow);
+}
+
+TEST(PaperShapes, Finding1_SmtSpeedupVisibleAtHighLoad)
+{
+    // Figure 2d: server SMT improves p99 at high load; the HP client
+    // measures a clear improvement.
+    auto hpBase = study(500e3, false, hw::HwConfig::serverBaseline());
+    auto hpSmt = study(500e3, false, hw::HwConfig::serverSmtOn());
+    const double gain = hpBase.medianP99() / hpSmt.medianP99();
+    EXPECT_GT(gain, 1.05);
+}
+
+TEST(PaperShapes, Finding3_MillisecondServicesInsensitive)
+{
+    // Figure 6a: Social Network's LP/HP ratio stays close to 1.
+    auto make = [&](bool lp) {
+        auto cfg = ExperimentConfig::forSocialNetwork(300);
+        cfg.client =
+            lp ? hw::HwConfig::clientLP() : hw::HwConfig::clientHP();
+        cfg.gen.warmup = msec(20);
+        cfg.gen.duration = msec(300);
+        RunnerOptions opt;
+        opt.runs = 4;
+        opt.parallelism = 2;
+        return runMany(cfg, opt);
+    };
+    auto lp = make(true);
+    auto hp = make(false);
+    const double ratio = lp.medianAvg() / hp.medianAvg();
+    EXPECT_GT(ratio, 0.98);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(PaperShapes, Finding3_SyntheticGapClosesWithAddedDelay)
+{
+    // Figure 7a: LP/HP converges toward 1 as service time grows.
+    auto run = [&](bool lp, Time delay) {
+        auto cfg = ExperimentConfig::forSynthetic(5e3, delay);
+        cfg.client =
+            lp ? hw::HwConfig::clientLP() : hw::HwConfig::clientHP();
+        cfg.gen.warmup = msec(10);
+        cfg.gen.duration = msec(100);
+        RunnerOptions opt;
+        opt.runs = 4;
+        opt.parallelism = 2;
+        return runMany(cfg, opt).medianAvg();
+    };
+    const double ratio0 = run(true, 0) / run(false, 0);
+    const double ratio400 = run(true, usec(400)) / run(false, usec(400));
+    EXPECT_GT(ratio0, 1.5);
+    EXPECT_LT(ratio400, 1.25);
+    EXPECT_GT(ratio0, ratio400);
+}
+
+TEST(PaperShapes, Finding4_LpNeedsMoreRepetitionsAtLowLoad)
+{
+    // Table IV: the LP client's run-to-run variability at low load
+    // demands more repetitions than HP's.
+    auto lp = study(10e3, true, hw::HwConfig::serverBaseline(), 10);
+    auto hp = study(10e3, false, hw::HwConfig::serverBaseline(), 10);
+    const double lpRel = lp.stdevAvg() / lp.meanAvg();
+    const double hpRel = hp.stdevAvg() / hp.meanAvg();
+    EXPECT_GT(lpRel, 1.5 * hpRel);
+}
+
+} // namespace
+} // namespace core
+} // namespace tpv

@@ -1,0 +1,151 @@
+/** @file Tests for the closed-loop generator. */
+
+#include "loadgen/closedloop.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace tpv {
+namespace loadgen {
+namespace {
+
+struct DelayServer : net::Endpoint
+{
+    Simulator *sim = nullptr;
+    net::Link *reply = nullptr;
+    net::Endpoint *client = nullptr;
+    Time serviceTime = usec(20);
+
+    void
+    onMessage(const net::Message &req) override
+    {
+        net::Message resp = req;
+        resp.isResponse = true;
+        sim->schedule(serviceTime,
+                      [this, resp] { reply->send(resp, *client); });
+    }
+};
+
+struct Rig
+{
+    Simulator sim;
+    hw::Machine client;
+    net::Link up;
+    net::Link down;
+    DelayServer server;
+    ClosedLoopGenerator gen;
+
+    explicit Rig(ClosedLoopParams params)
+        : client(sim, hw::HwConfig::clientHP()),
+          up(sim, Rng(1), net::Link::Params{usec(5), 0.0, 10.0}),
+          down(sim, Rng(2), net::Link::Params{usec(5), 0.0, 10.0}),
+          gen(sim, client, up, server, params, Rng(5))
+    {
+        server.sim = &sim;
+        server.reply = &down;
+        server.client = &gen;
+    }
+
+    void
+    run()
+    {
+        gen.start();
+        sim.runUntil(gen.windowEnd() + msec(10));
+    }
+};
+
+ClosedLoopParams
+baseParams()
+{
+    ClosedLoopParams p;
+    p.clientsPerThread = 2;
+    p.threads = 4;
+    p.thinkTime = usec(100);
+    p.warmup = msec(20);
+    p.duration = msec(200);
+    return p;
+}
+
+TEST(ClosedLoop, ThroughputFollowsLittlesLaw)
+{
+    Rig rig(baseParams());
+    rig.run();
+    // 8 clients, cycle = think 100us + rtt ~55-60us (incl. client
+    // path) -> ~8/160us = 50K qps. Verify within a loose band.
+    const double completedRate =
+        static_cast<double>(rig.gen.completed()) / toSec(msec(220));
+    EXPECT_GT(completedRate, 30000.0);
+    EXPECT_LT(completedRate, 60000.0);
+}
+
+TEST(ClosedLoop, OutstandingBoundedByPopulation)
+{
+    // A closed loop never has more requests in flight than clients.
+    Rig rig(baseParams());
+    rig.run();
+    EXPECT_LE(rig.gen.recorder().sent(),
+              rig.gen.recorder().received() + 8u);
+}
+
+TEST(ClosedLoop, SlowerServiceReducesThroughput)
+{
+    Rig fast(baseParams());
+    fast.server.serviceTime = usec(20);
+    fast.run();
+    Rig slow(baseParams());
+    slow.server.serviceTime = usec(500);
+    slow.run();
+    EXPECT_LT(slow.gen.completed(), fast.gen.completed() / 2);
+}
+
+TEST(ClosedLoop, RecordsLatencies)
+{
+    Rig rig(baseParams());
+    rig.run();
+    const auto s = rig.gen.recorder().latencySummary();
+    EXPECT_GT(s.count, 100u);
+    // rtt = 10us wire + 20us service + client path.
+    EXPECT_GT(s.mean, 30.0);
+    EXPECT_LT(s.mean, 100.0);
+}
+
+TEST(ClosedLoop, LpClientSlowsTheWholeLoop)
+{
+    // Paper Section II: in a closed loop, client timing inaccuracy
+    // delays every *successive* request, so the LP client both
+    // measures higher latency and achieves lower throughput.
+    ClosedLoopParams p = baseParams();
+
+    Simulator simLp;
+    hw::Machine lpClient(simLp, hw::HwConfig::clientLP());
+    net::Link upLp(simLp, Rng(1), net::Link::Params{usec(5), 0.0, 10.0});
+    net::Link downLp(simLp, Rng(2), net::Link::Params{usec(5), 0.0, 10.0});
+    DelayServer serverLp;
+    ClosedLoopGenerator genLp(simLp, lpClient, upLp, serverLp, p, Rng(5));
+    serverLp.sim = &simLp;
+    serverLp.reply = &downLp;
+    serverLp.client = &genLp;
+    genLp.start();
+    simLp.runUntil(genLp.windowEnd() + msec(10));
+
+    Rig hp(baseParams());
+    hp.run();
+
+    EXPECT_LT(genLp.completed(), hp.gen.completed());
+    EXPECT_GT(genLp.recorder().latencySummary().mean,
+              hp.gen.recorder().latencySummary().mean);
+}
+
+TEST(ClosedLoop, ZeroThinkTimeStillProgresses)
+{
+    ClosedLoopParams p = baseParams();
+    p.thinkTime = 0;
+    Rig rig(p);
+    rig.run();
+    EXPECT_GT(rig.gen.completed(), 1000u);
+}
+
+} // namespace
+} // namespace loadgen
+} // namespace tpv

@@ -1,0 +1,255 @@
+/** @file Tests for the open-loop generator's measurement behaviour. */
+
+#include "loadgen/openloop.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "stats/descriptive.hh"
+
+namespace tpv {
+namespace loadgen {
+namespace {
+
+/** Server stub replying after a fixed simulated service time. */
+struct DelayServer : net::Endpoint
+{
+    Simulator *sim = nullptr;
+    net::Link *reply = nullptr;
+    net::Endpoint *client = nullptr;
+    Time serviceTime = usec(10);
+    std::uint64_t served = 0;
+
+    void
+    onMessage(const net::Message &req) override
+    {
+        ++served;
+        net::Message resp = req;
+        resp.isResponse = true;
+        sim->schedule(serviceTime, [this, resp] { reply->send(resp, *client); });
+    }
+};
+
+struct Rig
+{
+    Simulator sim;
+    hw::Machine client;
+    net::Link up;
+    net::Link down;
+    DelayServer server;
+    OpenLoopGenerator gen;
+
+    Rig(OpenLoopParams params, hw::HwConfig clientCfg,
+        std::uint64_t seed = 21)
+        : client(sim, clientCfg),
+          up(sim, Rng(1), net::Link::Params{usec(5), 0.0, 10.0}),
+          down(sim, Rng(2), net::Link::Params{usec(5), 0.0, 10.0}),
+          gen(sim, client, up, server, params, Rng(seed))
+    {
+        server.sim = &sim;
+        server.reply = &down;
+        server.client = &gen;
+    }
+
+    void
+    run()
+    {
+        gen.start();
+        sim.runUntil(gen.windowEnd() + msec(10));
+    }
+};
+
+OpenLoopParams
+baseParams()
+{
+    OpenLoopParams p;
+    p.qps = 10000;
+    p.threads = 4;
+    p.warmup = msec(20);
+    p.duration = msec(200);
+    return p;
+}
+
+TEST(OpenLoop, EveryRequestGetsAResponse)
+{
+    Rig rig(baseParams(), hw::HwConfig::clientHP());
+    rig.run();
+    EXPECT_EQ(rig.gen.recorder().sent(), rig.gen.recorder().received());
+    EXPECT_GT(rig.gen.recorder().sent(), 1000u);
+}
+
+TEST(OpenLoop, WarmupSamplesExcluded)
+{
+    Rig rig(baseParams(), hw::HwConfig::clientHP());
+    rig.run();
+    // Recorded latencies only cover the measurement window.
+    const double windowFrac =
+        toSec(msec(200)) / toSec(msec(220));
+    const auto recorded =
+        static_cast<double>(rig.gen.recorder().latencies().size());
+    const auto sent = static_cast<double>(rig.gen.recorder().sent());
+    EXPECT_NEAR(recorded / sent, windowFrac, 0.05);
+}
+
+TEST(OpenLoop, HpClientMeasuresNearTrueLatency)
+{
+    // True e2e: 5us up + 10us service + 5us down = 20us, plus the
+    // client software path (irq + ctx + parse at turbo speed).
+    Rig rig(baseParams(), hw::HwConfig::clientHP());
+    rig.run();
+    const auto s = rig.gen.recorder().latencySummary();
+    EXPECT_GT(s.mean, 20.0);
+    EXPECT_LT(s.mean, 50.0);
+}
+
+TEST(OpenLoop, LpClientInflatesMeasuredLatency)
+{
+    Rig hp(baseParams(), hw::HwConfig::clientHP());
+    hp.run();
+    Rig lp(baseParams(), hw::HwConfig::clientLP());
+    lp.run();
+    const double hpMean = hp.gen.recorder().latencySummary().mean;
+    const double lpMean = lp.gen.recorder().latencySummary().mean;
+    // Finding 1: the untuned client measures substantially higher
+    // end-to-end latency for the same service.
+    EXPECT_GT(lpMean, 1.5 * hpMean);
+}
+
+TEST(OpenLoop, NicMeasurementPointExcludesClientOverhead)
+{
+    OpenLoopParams inApp = baseParams();
+    OpenLoopParams atNic = baseParams();
+    atNic.measure = MeasurePoint::Nic;
+    Rig a(inApp, hw::HwConfig::clientLP());
+    a.run();
+    Rig b(atNic, hw::HwConfig::clientLP());
+    b.run();
+    const double inAppMean = a.gen.recorder().latencySummary().mean;
+    const double nicMean = b.gen.recorder().latencySummary().mean;
+    // Hardware timestamping removes the wake + context switch + parse
+    // from the measurement (Lancet's motivation).
+    EXPECT_LT(nicMean, inAppMean - 10.0);
+    EXPECT_NEAR(nicMean, 20.0, 3.0);
+}
+
+TEST(OpenLoop, KernelMeasurementPointBetweenNicAndApp)
+{
+    OpenLoopParams pk = baseParams();
+    pk.measure = MeasurePoint::Kernel;
+    OpenLoopParams pn = baseParams();
+    pn.measure = MeasurePoint::Nic;
+    Rig k(pk, hw::HwConfig::clientLP());
+    k.run();
+    Rig n(pn, hw::HwConfig::clientLP());
+    n.run();
+    Rig a(baseParams(), hw::HwConfig::clientLP());
+    a.run();
+    const double kernelMean = k.gen.recorder().latencySummary().mean;
+    const double nicMean = n.gen.recorder().latencySummary().mean;
+    const double appMean = a.gen.recorder().latencySummary().mean;
+    EXPECT_GT(kernelMean, nicMean);
+    EXPECT_LT(kernelMean, appMean);
+}
+
+TEST(OpenLoop, BusyWaitWithBlockingCompletionsStillExposedToLp)
+{
+    // The MicroSuite client shape: spinning send loops + blocking
+    // completion threads. Sends stay punctual, but the completion
+    // path sleeps — so the LP configuration still inflates
+    // measurements (Figure 4's residual gap).
+    OpenLoopParams p = baseParams();
+    p.sendMode = SendMode::BusyWait;
+    p.completion = CompletionMode::Blocking;
+    Rig lp(p, hw::HwConfig::clientLP());
+    lp.run();
+    Rig hp(p, hw::HwConfig::clientHP());
+    hp.run();
+    EXPECT_LT(lp.gen.recorder().latenessSummary().mean, 2.0);
+    EXPECT_GT(lp.gen.recorder().latencySummary().mean,
+              hp.gen.recorder().latencySummary().mean + 10.0);
+}
+
+TEST(OpenLoop, PollingCompletionAvoidsWakeCosts)
+{
+    OpenLoopParams blocking = baseParams();
+    OpenLoopParams polling = baseParams();
+    polling.sendMode = SendMode::BusyWait;
+    polling.completion = CompletionMode::Polling;
+    Rig b(blocking, hw::HwConfig::clientLP());
+    b.run();
+    Rig p(polling, hw::HwConfig::clientLP());
+    p.run();
+    // A fully polling client on LP hardware still measures accurately:
+    // the core never sleeps.
+    EXPECT_LT(p.gen.recorder().latencySummary().mean,
+              b.gen.recorder().latencySummary().mean - 10.0);
+}
+
+TEST(OpenLoop, CoordinatedOmissionCorrectionAddsSendDelay)
+{
+    // wrk2's correction charges the generator's own send lateness to
+    // the measurement; on an LP client that lateness is substantial.
+    OpenLoopParams raw = baseParams();
+    OpenLoopParams corrected = baseParams();
+    corrected.correctCoordinatedOmission = true;
+    Rig a(raw, hw::HwConfig::clientLP(), 33);
+    a.run();
+    Rig b(corrected, hw::HwConfig::clientLP(), 33);
+    b.run();
+    const double rawMean = a.gen.recorder().latencySummary().mean;
+    const double corrMean = b.gen.recorder().latencySummary().mean;
+    const double lateness = a.gen.recorder().latenessSummary().mean;
+    EXPECT_GT(corrMean, rawMean + 0.5 * lateness);
+}
+
+TEST(OpenLoop, CorrectionIsNoOpForPunctualClient)
+{
+    OpenLoopParams raw = baseParams();
+    raw.sendMode = SendMode::BusyWait;
+    OpenLoopParams corrected = raw;
+    corrected.correctCoordinatedOmission = true;
+    Rig a(raw, hw::HwConfig::clientHP(), 34);
+    a.run();
+    Rig b(corrected, hw::HwConfig::clientHP(), 34);
+    b.run();
+    EXPECT_NEAR(a.gen.recorder().latencySummary().mean,
+                b.gen.recorder().latencySummary().mean, 2.0);
+}
+
+TEST(OpenLoop, DeterministicForEqualSeeds)
+{
+    Rig a(baseParams(), hw::HwConfig::clientLP(), 77);
+    a.run();
+    Rig b(baseParams(), hw::HwConfig::clientLP(), 77);
+    b.run();
+    EXPECT_EQ(a.gen.recorder().sent(), b.gen.recorder().sent());
+    EXPECT_EQ(a.gen.recorder().latencySummary().mean,
+              b.gen.recorder().latencySummary().mean);
+}
+
+TEST(OpenLoop, DifferentSeedsDiffer)
+{
+    Rig a(baseParams(), hw::HwConfig::clientLP(), 77);
+    a.run();
+    Rig b(baseParams(), hw::HwConfig::clientLP(), 78);
+    b.run();
+    EXPECT_NE(a.gen.recorder().latencySummary().mean,
+              b.gen.recorder().latencySummary().mean);
+}
+
+TEST(OpenLoopDeathTest, RejectsTooManyThreads)
+{
+    Simulator sim;
+    hw::HwConfig cfg = hw::HwConfig::clientHP(); // 10 cores
+    hw::Machine client(sim, cfg);
+    net::Link up(sim, Rng(1));
+    DelayServer server;
+    OpenLoopParams p;
+    p.threads = 11;
+    EXPECT_EXIT(OpenLoopGenerator(sim, client, up, server, p, Rng(1)),
+                ::testing::ExitedWithCode(1), "client threads");
+}
+
+} // namespace
+} // namespace loadgen
+} // namespace tpv

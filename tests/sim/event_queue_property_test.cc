@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Property tests: the event queue against a naive reference model
+ * under randomized schedule/cancel workloads.
+ */
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace tpv {
+namespace {
+
+/**
+ * Reference: a sorted multimap of (time, insertion-seq) -> id, with
+ * lazily applied cancellations.
+ */
+struct ReferenceQueue
+{
+    std::multimap<std::pair<Time, std::uint64_t>, int> events;
+    std::uint64_t seq = 0;
+
+    std::pair<Time, std::uint64_t>
+    add(Time when, int id)
+    {
+        auto key = std::make_pair(when, seq++);
+        events.emplace(key, id);
+        return key;
+    }
+
+    bool
+    cancel(const std::pair<Time, std::uint64_t> &key)
+    {
+        auto it = events.find(key);
+        if (it == events.end())
+            return false;
+        events.erase(it);
+        return true;
+    }
+
+    std::vector<int>
+    drain()
+    {
+        std::vector<int> order;
+        for (const auto &[key, id] : events)
+            order.push_back(id);
+        events.clear();
+        return order;
+    }
+};
+
+class EventQueueProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventQueueProperty, MatchesReferenceUnderRandomOps)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9e37 + 1);
+    EventQueue q;
+    ReferenceQueue ref;
+    std::vector<int> fired;
+
+    struct Live
+    {
+        EventHandle handle;
+        std::pair<Time, std::uint64_t> key;
+    };
+    std::vector<Live> live;
+
+    int nextId = 0;
+    for (int op = 0; op < 2000; ++op) {
+        if (live.empty() || rng.uniform01() < 0.7) {
+            const Time when = rng.uniformInt(0, 100000);
+            const int id = nextId++;
+            EventHandle h =
+                q.schedule(when, [&fired, id] { fired.push_back(id); });
+            live.push_back(Live{h, ref.add(when, id)});
+        } else {
+            const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            const bool a = q.cancel(live[idx].handle);
+            const bool b = ref.cancel(live[idx].key);
+            ASSERT_EQ(a, b);
+            live.erase(live.begin() + static_cast<long>(idx));
+        }
+        ASSERT_EQ(q.size(), ref.events.size());
+    }
+
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(fired, ref.drain());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace tpv

@@ -1,0 +1,168 @@
+/** @file Unit tests for the cancellable event queue. */
+
+#include "sim/event_queue.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpv {
+namespace {
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+
+    EXPECT_EQ(q.nextTime(), 10);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(42, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, RunNextReturnsFireTime)
+{
+    EventQueue q;
+    q.schedule(55, [] {});
+    EXPECT_EQ(q.runNext(), 55);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventHandle h = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.pending(h));
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.pending(h));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelAfterExecutionFails)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    q.runNext();
+    EXPECT_FALSE(q.pending(h));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, InvalidHandleIsNotPending)
+{
+    EventQueue q;
+    EventHandle h;
+    EXPECT_FALSE(h.valid());
+    EXPECT_FALSE(q.pending(h));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuse)
+{
+    EventQueue q;
+    EventHandle h1 = q.schedule(10, [] {});
+    q.runNext(); // slot freed
+    EventHandle h2 = q.schedule(20, [] {});
+    // Slot is recycled but the generation differs.
+    EXPECT_EQ(h1.slot, h2.slot);
+    EXPECT_NE(h1.gen, h2.gen);
+    EXPECT_FALSE(q.pending(h1));
+    EXPECT_TRUE(q.pending(h2));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    EventHandle mid = q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(30, [&] { order.push_back(3); });
+    q.cancel(mid);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(15, [&] { order.push_back(2); });
+    });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(i, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyInterleavedScheduleCancel)
+{
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+        handles.push_back(q.schedule(i, [&] { ++fired; }));
+    // Cancel every other event.
+    for (std::size_t i = 0; i < handles.size(); i += 2)
+        EXPECT_TRUE(q.cancel(handles[i]));
+    EXPECT_EQ(q.size(), 500u);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(fired, 500);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    EventHandle a = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.runNext();
+    EXPECT_EQ(q.size(), 0u);
+}
+
+} // namespace
+} // namespace tpv

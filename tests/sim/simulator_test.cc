@@ -1,0 +1,127 @@
+/** @file Unit tests for the simulation executive. */
+
+#include "sim/simulator.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpv {
+namespace {
+
+TEST(Simulator, TimeStartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, NowAdvancesWithEvents)
+{
+    Simulator sim;
+    Time seen = -1;
+    sim.schedule(usec(5), [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, usec(5));
+    EXPECT_EQ(sim.now(), usec(5));
+}
+
+TEST(Simulator, RelativeScheduleIsFromNow)
+{
+    Simulator sim;
+    Time inner = -1;
+    sim.schedule(usec(10), [&] {
+        sim.schedule(usec(7), [&] { inner = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(inner, usec(17));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(usec(10), [&] { ++fired; });
+    sim.schedule(usec(30), [&] { ++fired; });
+    sim.runUntil(usec(20));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), usec(20));
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, RunUntilThenResume)
+{
+    Simulator sim;
+    std::vector<Time> fires;
+    for (int i = 1; i <= 4; ++i)
+        sim.schedule(usec(10) * i, [&, i] { fires.push_back(usec(10) * i); });
+    sim.runUntil(usec(25));
+    EXPECT_EQ(fires.size(), 2u);
+    sim.run();
+    EXPECT_EQ(fires.size(), 4u);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeEvenWithoutEvents)
+{
+    Simulator sim;
+    sim.runUntil(msec(3));
+    EXPECT_EQ(sim.now(), msec(3));
+}
+
+TEST(Simulator, StopHaltsRun)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(usec(1), [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(usec(2), [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, AtSchedulesAbsolute)
+{
+    Simulator sim;
+    Time seen = -1;
+    sim.schedule(usec(10), [&] {
+        sim.at(usec(40), [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, usec(40));
+}
+
+TEST(Simulator, CancelThroughSimulator)
+{
+    Simulator sim;
+    bool ran = false;
+    EventHandle h = sim.schedule(usec(10), [&] { ran = true; });
+    EXPECT_TRUE(sim.pending(h));
+    EXPECT_TRUE(sim.cancel(h));
+    sim.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, ExecutedEventsCount)
+{
+    Simulator sim;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.executedEvents(), 10u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime)
+{
+    Simulator sim;
+    Time seen = -1;
+    sim.schedule(usec(5), [&] {
+        sim.schedule(0, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, usec(5));
+}
+
+} // namespace
+} // namespace tpv

@@ -1,0 +1,47 @@
+/** @file Unit tests for time helpers. */
+
+#include "sim/time.hh"
+
+#include <gtest/gtest.h>
+
+namespace tpv {
+namespace {
+
+TEST(TimeUnits, ConversionsRoundTrip)
+{
+    EXPECT_EQ(usec(1), 1000);
+    EXPECT_EQ(msec(1), 1000 * 1000);
+    EXPECT_EQ(seconds(1), 1000 * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(toUsec(usec(12.5)), 12.5);
+    EXPECT_DOUBLE_EQ(toMsec(msec(3.25)), 3.25);
+    EXPECT_DOUBLE_EQ(toSec(seconds(2)), 2.0);
+}
+
+TEST(TimeUnits, FractionalBuilders)
+{
+    EXPECT_EQ(usec(0.5), 500);
+    EXPECT_EQ(msec(0.001), 1000);
+    EXPECT_EQ(nsec(42.9), 42); // truncation toward zero
+}
+
+TEST(TimeUnits, FormatPicksUnit)
+{
+    EXPECT_EQ(formatTime(500), "500ns");
+    EXPECT_EQ(formatTime(usec(12.5)), "12.500us");
+    EXPECT_EQ(formatTime(msec(3)), "3.000ms");
+    EXPECT_EQ(formatTime(seconds(2)), "2.000s");
+    EXPECT_EQ(formatTime(kTimeNever), "never");
+}
+
+TEST(TimeUnits, PaperScaleConstants)
+{
+    // The paper's canonical latencies must be representable exactly
+    // enough: C-state exit 2us..200us, DVFS 30us, ctx switch 25us.
+    EXPECT_EQ(usec(2), 2000);
+    EXPECT_EQ(usec(200), 200000);
+    EXPECT_EQ(usec(30), 30000);
+    EXPECT_EQ(usec(25), 25000);
+}
+
+} // namespace
+} // namespace tpv

@@ -1,0 +1,95 @@
+/** @file Tests for the Figure-9-style frequency chart. */
+
+#include "stats/histogram.hh"
+
+#include <gtest/gtest.h>
+
+namespace tpv {
+namespace stats {
+namespace {
+
+TEST(Histogram, BinsValuesByWidth)
+{
+    Histogram h(0.0, 10.0, 3); // [0,10) [10,20) [20,30)
+    h.add(0);
+    h.add(9.999);
+    h.add(10);
+    h.add(25);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow)
+{
+    Histogram h(10.0, 5.0, 2); // [10,15) [15,20)
+    h.add(5);
+    h.add(100);
+    h.add(12);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(Histogram, BinLowEdges)
+{
+    Histogram h(91.0, 1.0, 17); // Fig 9: bins 91..107
+    EXPECT_DOUBLE_EQ(h.binLow(0), 91.0);
+    EXPECT_DOUBLE_EQ(h.binLow(16), 107.0);
+}
+
+TEST(Histogram, MedianBinMatchesMedian)
+{
+    Histogram h(0.0, 1.0, 10);
+    // Samples 0.5 x4, 3.5 x1 -> median 0.5 in bin 0.
+    h.addAll({0.5, 0.5, 0.5, 0.5, 3.5});
+    EXPECT_EQ(h.medianBin(), 0u);
+}
+
+TEST(Histogram, MedianInOverflowBin)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.addAll({10, 11, 12});
+    EXPECT_EQ(h.medianBin(), h.bins());
+}
+
+TEST(Histogram, AddAllCounts)
+{
+    Histogram h(0, 1, 4);
+    h.addAll({0.1, 1.1, 2.1, 3.1, 0.2});
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(Histogram, RenderMarksMedianAndMore)
+{
+    Histogram h(91.0, 1.0, 4);
+    for (int i = 0; i < 20; ++i)
+        h.add(92.5);
+    h.add(300.0);
+    const std::string out = h.render(20);
+    EXPECT_NE(out.find("<-- median"), std::string::npos);
+    EXPECT_NE(out.find("More"), std::string::npos);
+    // The median annotation must be on the 92 bin's line.
+    const auto medianPos = out.find("<-- median");
+    const auto bin92Pos = out.find("92.0");
+    const auto bin93Pos = out.find("93.0");
+    EXPECT_GT(medianPos, bin92Pos);
+    EXPECT_LT(medianPos, bin93Pos);
+}
+
+TEST(Histogram, RenderBarsScaleWithCounts)
+{
+    Histogram h(0, 1, 2);
+    for (int i = 0; i < 40; ++i)
+        h.add(0.5);
+    h.add(1.5);
+    const std::string out = h.render(40);
+    // First bin renders a full-width bar.
+    EXPECT_NE(out.find(std::string(40, '#')), std::string::npos);
+}
+
+} // namespace
+} // namespace stats
+} // namespace tpv

@@ -1,0 +1,173 @@
+/** @file Tests for the repetition estimators (paper Eq. 3 + CONFIRM). */
+
+#include "stats/sample_size.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace tpv {
+namespace stats {
+namespace {
+
+TEST(JainIterations, ClosedFormMatchesHandComputation)
+{
+    // Construct samples with mean 100, sd ~10.
+    // n = (100 * 1.96 * s / (1 * 100))^2 = (1.96 * s)^2.
+    std::vector<double> xs{90, 110, 90, 110, 90, 110, 90, 110};
+    // sample sd of alternating +-10 around 100: sqrt(100*8/7) = 10.69
+    const double s = 10.690449676496976;
+    const double expected = (1.959963984540054 * s) * (1.959963984540054 * s);
+    const auto n = jainIterations(xs, 1.0, 0.95);
+    EXPECT_EQ(n, static_cast<std::uint64_t>(std::ceil(expected)));
+}
+
+TEST(JainIterations, TighterErrorNeedsQuadraticallyMore)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i)
+        xs.push_back(rng.normal(100, 10));
+    const auto n1 = jainIterations(xs, 1.0);
+    const auto nHalf = jainIterations(xs, 0.5);
+    // Halving the error quadruples the repetitions (+-1 for rounding).
+    EXPECT_NEAR(static_cast<double>(nHalf),
+                4.0 * static_cast<double>(n1), 4.0);
+}
+
+TEST(JainIterations, LowVarianceNeedsFew)
+{
+    std::vector<double> xs{100.0, 100.01, 99.99, 100.0, 100.02, 99.98};
+    EXPECT_EQ(jainIterations(xs, 1.0), 1u);
+}
+
+TEST(JainIterations, HighVarianceNeedsMany)
+{
+    std::vector<double> xs{10, 200, 15, 180, 20, 190, 12, 160};
+    EXPECT_GT(jainIterations(xs, 1.0), 100u);
+}
+
+TEST(JainIterations, HigherConfidenceNeedsMore)
+{
+    Rng rng(6);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i)
+        xs.push_back(rng.normal(50, 5));
+    EXPECT_GT(jainIterations(xs, 1.0, 0.99), jainIterations(xs, 1.0, 0.95));
+}
+
+TEST(Confirm, LowVarianceConvergesAtMinSubset)
+{
+    // Nearly constant samples: the CI collapses immediately, so the
+    // answer is the method's floor (10), matching Table IV's many
+    // "10" entries for HP low-QPS configurations.
+    Rng rng(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i)
+        xs.push_back(rng.normal(100, 0.05));
+    auto r = confirmIterations(xs);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_EQ(r.iterations, 10u);
+}
+
+TEST(Confirm, HighVarianceSaturates)
+{
+    // Very noisy samples: even 50 runs cannot reach 1% error — the
+    // ">50" entries of Table IV.
+    Rng rng(8);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i)
+        xs.push_back(rng.normal(100, 40));
+    auto r = confirmIterations(xs);
+    EXPECT_TRUE(r.saturated);
+    EXPECT_EQ(r.iterations, 50u);
+    EXPECT_GT(r.achievedError, 0.01);
+}
+
+TEST(Confirm, ModerateVarianceLandsBetween)
+{
+    Rng rng(9);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i)
+        xs.push_back(rng.normal(100, 1.2));
+    auto r = confirmIterations(xs);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_GT(r.iterations, 10u);
+    EXPECT_LT(r.iterations, 50u);
+}
+
+TEST(Confirm, DeterministicForFixedSeed)
+{
+    Rng rng(10);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i)
+        xs.push_back(rng.normal(100, 3));
+    auto r1 = confirmIterations(xs);
+    auto r2 = confirmIterations(xs);
+    EXPECT_EQ(r1.iterations, r2.iterations);
+    EXPECT_DOUBLE_EQ(r1.achievedError, r2.achievedError);
+}
+
+TEST(Confirm, AchievedErrorBelowTargetWhenConverged)
+{
+    Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i)
+        xs.push_back(rng.normal(100, 1.5));
+    auto r = confirmIterations(xs);
+    if (!r.saturated) {
+        EXPECT_LE(r.achievedError, 0.01);
+    }
+}
+
+TEST(Confirm, LooserTargetNeedsFewerIterations)
+{
+    Rng rng(12);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i)
+        xs.push_back(rng.normal(100, 3));
+    ConfirmConfig tight;
+    tight.targetError = 0.01;
+    ConfirmConfig loose;
+    loose.targetError = 0.05;
+    auto rTight = confirmIterations(xs, tight);
+    auto rLoose = confirmIterations(xs, loose);
+    EXPECT_LE(rLoose.iterations, rTight.iterations);
+}
+
+/**
+ * Property sweep: Jain's estimate must scale with (s/x)^2 — double the
+ * coefficient of variation, quadruple the iterations.
+ */
+class JainScaling : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(JainScaling, QuadraticInCoefficientOfVariation)
+{
+    const double sd = GetParam();
+    std::vector<double> base, doubled;
+    Rng rng(99);
+    std::vector<double> noise;
+    for (int i = 0; i < 200; ++i)
+        noise.push_back(rng.normal(0, 1));
+    for (double z : noise) {
+        base.push_back(1000 + sd * z);
+        doubled.push_back(1000 + 2 * sd * z);
+    }
+    const auto n1 = jainIterations(base, 1.0);
+    const auto n2 = jainIterations(doubled, 1.0);
+    EXPECT_NEAR(static_cast<double>(n2),
+                4.0 * static_cast<double>(n1),
+                0.05 * 4.0 * static_cast<double>(n1) + 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sds, JainScaling,
+                         ::testing::Values(5.0, 10.0, 20.0, 40.0));
+
+} // namespace
+} // namespace stats
+} // namespace tpv
