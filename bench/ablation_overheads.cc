@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -17,13 +19,39 @@ using namespace tpv::core;
 
 namespace {
 
-double
-meanAvg(core::ExperimentConfig cfg, const BenchOptions &opt)
+/**
+ * Collects every configuration the ablation probes, then evaluates
+ * them all as one flat bag on the scheduler; meanAvg(i) reads the
+ * finished result back.
+ */
+class ProbeSet
 {
-    RunnerOptions ropt = opt.runner();
-    ropt.runs = std::max(4, ropt.runs / 2);
-    return runMany(cfg, ropt).meanAvg();
-}
+  public:
+    std::size_t
+    add(core::ExperimentConfig cfg)
+    {
+        cfgs_.push_back(std::move(cfg));
+        return cfgs_.size() - 1;
+    }
+
+    void
+    evaluate(const BenchOptions &opt)
+    {
+        RunnerOptions ropt = opt.runner();
+        ropt.runs = std::max(4, ropt.runs / 2);
+        results_ = runManyBatch(cfgs_, ropt);
+    }
+
+    double
+    meanAvg(std::size_t i) const
+    {
+        return results_[i].meanAvg();
+    }
+
+  private:
+    std::vector<core::ExperimentConfig> cfgs_;
+    std::vector<core::RepeatedResult> results_;
+};
 
 } // namespace
 
@@ -42,34 +70,28 @@ main()
     auto hp = base;
     hp.client = hw::HwConfig::clientHP();
 
-    const double lpAvg = meanAvg(lp, opt);
-    const double hpAvg = meanAvg(hp, opt);
-    std::printf("%-44s %10.2f us\n", "LP (all low-power features)", lpAvg);
-    std::printf("%-44s %10.2f us\n", "HP (tuned)", hpAvg);
-    std::printf("%-44s %10.2f us\n\n", "gap", lpAvg - hpAvg);
+    // Register every probe first, evaluate them all in one bag, then
+    // narrate the results in the original order.
+    ProbeSet probes;
+    const std::size_t lpIdx = probes.add(lp);
+    const std::size_t hpIdx = probes.add(hp);
 
     // (1) Disable deep C-states only (keep powersave DVFS).
     auto noDeep = lp;
     noDeep.client.cstates = {hw::CState::C0, hw::CState::C1};
-    const double noDeepAvg = meanAvg(noDeep, opt);
-    std::printf("%-44s %10.2f us (gap closed: %5.1f%%)\n",
-                "LP w/ only C0+C1 (no C1E/C6 exits)", noDeepAvg,
-                100.0 * (lpAvg - noDeepAvg) / (lpAvg - hpAvg));
+    const std::size_t noDeepIdx = probes.add(noDeep);
 
     // (2) Performance governor only (keep C-states).
     auto perfGov = lp;
     perfGov.client.governor = hw::FreqGovernor::Performance;
     perfGov.client.driver = hw::FreqDriver::AcpiCpufreq;
-    const double perfAvg = meanAvg(perfGov, opt);
-    std::printf("%-44s %10.2f us (gap closed: %5.1f%%)\n",
-                "LP w/ performance governor (no DVFS dips)", perfAvg,
-                100.0 * (lpAvg - perfAvg) / (lpAvg - hpAvg));
+    const std::size_t perfIdx = probes.add(perfGov);
 
     // (3) Exit-latency magnitude sensitivity: the paper's 2us-200us
     // range, scaled through the jitterless table.
-    std::printf("\nC-state exit-latency sensitivity (DESIGN.md ablation "
-                "#1):\n");
-    for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+    const std::vector<double> scales{0.25, 0.5, 1.0, 2.0};
+    std::vector<std::size_t> scaleIdx;
+    for (double scale : scales) {
         auto scaled = lp;
         scaled.client.exitLatencyJitter = 0; // isolate the mean effect
         // Rescale via the jitter-free table by adjusting the C-state
@@ -81,34 +103,69 @@ main()
         // via irqWork to bracket the effect.
         scaled.client.irqWork = static_cast<Time>(
             static_cast<double>(base.client.irqWork) * scale);
-        std::printf("  irq/exit path scale %.2fx -> avg %10.2f us\n",
-                    scale, meanAvg(scaled, opt));
+        scaleIdx.push_back(probes.add(scaled));
     }
 
     // (3b) Idle-governor policy (DESIGN.md ablation #2): Linux menu
     // vs the two bracketing policies.
-    std::printf("\nIdle-governor policy on the LP client:\n");
-    for (auto kind : {hw::IdleGovernorKind::Menu,
-                      hw::IdleGovernorKind::AlwaysDeepest,
-                      hw::IdleGovernorKind::AlwaysShallowest}) {
+    const std::vector<hw::IdleGovernorKind> governors{
+        hw::IdleGovernorKind::Menu, hw::IdleGovernorKind::AlwaysDeepest,
+        hw::IdleGovernorKind::AlwaysShallowest};
+    std::vector<std::size_t> governorIdx;
+    for (auto kind : governors) {
         auto cfg = lp;
         cfg.client.idleGovernor = kind;
-        std::printf("  %-18s -> avg %10.2f us\n", hw::toString(kind),
-                    meanAvg(cfg, opt));
+        governorIdx.push_back(probes.add(cfg));
     }
+
+    // (4) Point of measurement (DESIGN.md ablation #4).
+    const std::vector<loadgen::MeasurePoint> measurePoints{
+        loadgen::MeasurePoint::InApp, loadgen::MeasurePoint::Kernel,
+        loadgen::MeasurePoint::Nic};
+    std::vector<std::size_t> measureIdx;
+    for (auto mp : measurePoints) {
+        auto cfg = lp;
+        cfg.gen.measure = mp;
+        measureIdx.push_back(probes.add(cfg));
+    }
+
+    probes.evaluate(opt);
+
+    const double lpAvg = probes.meanAvg(lpIdx);
+    const double hpAvg = probes.meanAvg(hpIdx);
+    std::printf("%-44s %10.2f us\n", "LP (all low-power features)", lpAvg);
+    std::printf("%-44s %10.2f us\n", "HP (tuned)", hpAvg);
+    std::printf("%-44s %10.2f us\n\n", "gap", lpAvg - hpAvg);
+
+    const double noDeepAvg = probes.meanAvg(noDeepIdx);
+    std::printf("%-44s %10.2f us (gap closed: %5.1f%%)\n",
+                "LP w/ only C0+C1 (no C1E/C6 exits)", noDeepAvg,
+                100.0 * (lpAvg - noDeepAvg) / (lpAvg - hpAvg));
+
+    const double perfAvg = probes.meanAvg(perfIdx);
+    std::printf("%-44s %10.2f us (gap closed: %5.1f%%)\n",
+                "LP w/ performance governor (no DVFS dips)", perfAvg,
+                100.0 * (lpAvg - perfAvg) / (lpAvg - hpAvg));
+
+    std::printf("\nC-state exit-latency sensitivity (DESIGN.md ablation "
+                "#1):\n");
+    for (std::size_t i = 0; i < scales.size(); ++i)
+        std::printf("  irq/exit path scale %.2fx -> avg %10.2f us\n",
+                    scales[i], probes.meanAvg(scaleIdx[i]));
+
+    std::printf("\nIdle-governor policy on the LP client:\n");
+    for (std::size_t i = 0; i < governors.size(); ++i)
+        std::printf("  %-18s -> avg %10.2f us\n",
+                    hw::toString(governors[i]),
+                    probes.meanAvg(governorIdx[i]));
     std::printf("  (menu lands between the brackets: it predicts idle "
                 "lengths instead of\n   committing to one extreme)\n");
 
-    // (4) Point of measurement (DESIGN.md ablation #4).
     std::printf("\nPoint of measurement on the LP client:\n");
-    for (auto mp : {loadgen::MeasurePoint::InApp,
-                    loadgen::MeasurePoint::Kernel,
-                    loadgen::MeasurePoint::Nic}) {
-        auto cfg = lp;
-        cfg.gen.measure = mp;
-        std::printf("  %-8s -> avg %10.2f us\n", loadgen::toString(mp),
-                    meanAvg(cfg, opt));
-    }
+    for (std::size_t i = 0; i < measurePoints.size(); ++i)
+        std::printf("  %-8s -> avg %10.2f us\n",
+                    loadgen::toString(measurePoints[i]),
+                    probes.meanAvg(measureIdx[i]));
     std::printf("\nNIC timestamping removes the client-side inflation "
                 "entirely (Lancet's approach).\n");
     return 0;

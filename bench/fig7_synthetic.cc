@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <map>
 
 #include "bench_common.hh"
 
@@ -33,29 +34,53 @@ main()
     const std::vector<Time> delays{0, usec(100), usec(200), usec(300),
                                    usec(400)};
 
+    // One flat (client x delay) x load grid through the scheduler:
+    // every (config, qps, repetition) task lands in the same bag, so
+    // the whole figure scales with hardware concurrency. Each label
+    // maps back to its (client, delay) spec — labels are display
+    // strings, never parsed.
+    struct CellSpec
+    {
+        bool lowPower;
+        Time delay;
+    };
+    std::vector<std::string> labels;
+    std::map<std::string, CellSpec> specs;
+    for (bool lowPower : {true, false}) {
+        for (Time d : delays) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%s-%dus",
+                          lowPower ? "LP" : "HP",
+                          static_cast<int>(toUsec(d)));
+            labels.push_back(buf);
+            specs[buf] = CellSpec{lowPower, d};
+        }
+    }
+    const ConfigFactory factory = [&](const std::string &label,
+                                      double qps) {
+        const CellSpec &spec = specs.at(label);
+        auto cfg = withTiming(
+            ExperimentConfig::forSynthetic(qps, spec.delay), opt);
+        cfg.client = spec.lowPower ? hw::HwConfig::clientLP()
+                                   : hw::HwConfig::clientHP();
+        cfg.label = label;
+        return cfg;
+    };
+    const StudyGrid swept =
+        sweep(labels, loads, factory, opt.runner(), bench::progress);
+
     // grid[load][delay][client] -> result
     struct Cell
     {
         RepeatedResult lp, hp;
     };
     std::vector<std::vector<Cell>> grid(loads.size());
-
     for (std::size_t li = 0; li < loads.size(); ++li) {
-        for (Time d : delays) {
+        for (std::size_t di = 0; di < delays.size(); ++di) {
             Cell cell;
-            for (bool lp : {true, false}) {
-                auto cfg = withTiming(
-                    ExperimentConfig::forSynthetic(loads[li], d), opt);
-                cfg.client = lp ? hw::HwConfig::clientLP()
-                                : hw::HwConfig::clientHP();
-                auto r = runMany(cfg, opt.runner());
-                (lp ? cell.lp : cell.hp) = std::move(r);
-            }
-            std::fprintf(stderr,
-                         "  [done] %5.0fK qps delay=%3dus lp=%8.2f "
-                         "hp=%8.2f\n",
-                         loads[li] / 1000, static_cast<int>(toUsec(d)),
-                         cell.lp.medianAvg(), cell.hp.medianAvg());
+            cell.lp = swept.at(labels[di], loads[li]).result;
+            cell.hp =
+                swept.at(labels[delays.size() + di], loads[li]).result;
             grid[li].push_back(std::move(cell));
         }
     }

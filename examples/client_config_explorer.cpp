@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -79,23 +80,28 @@ main(int argc, char **argv)
     std::printf("%-26s %10s %10s %10s %12s\n", "client variant",
                 "avg (us)", "p99 (us)", "stdev", "vs HP");
 
-    double hpAvg = 0;
-    std::vector<std::pair<std::string, core::RepeatedResult>> rows;
-    for (const Variant &variant : variants()) {
+    // One flat bag of (variant, repetition) tasks on the scheduler.
+    const auto vars = variants();
+    std::vector<core::ExperimentConfig> cfgs;
+    for (const Variant &variant : vars) {
         auto cfg = core::ExperimentConfig::forMemcached(qps);
         cfg.client = variant.config;
         cfg.gen.warmup = msec(30);
         cfg.gen.duration = msec(300);
-        auto r = core::runMany(cfg, opt);
-        if (variant.name == "HP (tuned)")
-            hpAvg = r.medianAvg();
-        rows.emplace_back(variant.name, std::move(r));
+        cfgs.push_back(std::move(cfg));
     }
+    const auto results = core::runManyBatch(cfgs, opt);
 
-    for (const auto &[name, r] : rows) {
-        std::printf("%-26s %10.2f %10.2f %10.3f %11.2fx\n", name.c_str(),
-                    r.medianAvg(), r.medianP99(), r.stdevAvg(),
-                    r.medianAvg() / hpAvg);
+    double hpAvg = 0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i].name == "HP (tuned)")
+            hpAvg = results[i].medianAvg();
+    }
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        const auto &r = results[i];
+        std::printf("%-26s %10.2f %10.2f %10.3f %11.2fx\n",
+                    vars[i].name.c_str(), r.medianAvg(), r.medianP99(),
+                    r.stdevAvg(), r.medianAvg() / hpAvg);
     }
 
     std::printf("\nEach knob closes part of the LP-HP gap; the governor "

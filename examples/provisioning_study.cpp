@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -20,25 +21,43 @@ using namespace tpv;
 
 namespace {
 
-double
-sustainableQps(bool lowPowerClient, double qosUs)
+const std::vector<double> kLoads{100e3, 200e3, 300e3, 400e3, 500e3};
+
+/** All (client, load) cells, evaluated as one bag on the scheduler:
+ *  index = client * kLoads.size() + load. */
+std::vector<core::RepeatedResult>
+measureBothClients()
 {
     core::RunnerOptions opt;
     opt.runs = 8;
+    std::vector<core::ExperimentConfig> cfgs;
+    for (bool lowPowerClient : {true, false}) {
+        for (double qps : kLoads) {
+            auto cfg = core::ExperimentConfig::forMemcached(qps);
+            cfg.client = lowPowerClient ? hw::HwConfig::clientLP()
+                                        : hw::HwConfig::clientHP();
+            cfg.gen.warmup = msec(30);
+            cfg.gen.duration = msec(300);
+            cfgs.push_back(std::move(cfg));
+        }
+    }
+    return core::runManyBatch(cfgs, opt);
+}
+
+double
+sustainableQps(const std::vector<core::RepeatedResult> &results,
+               bool lowPowerClient, double qosUs)
+{
+    const std::size_t base = lowPowerClient ? 0 : kLoads.size();
     double best = 0;
-    for (double qps : {100e3, 200e3, 300e3, 400e3, 500e3}) {
-        auto cfg = core::ExperimentConfig::forMemcached(qps);
-        cfg.client = lowPowerClient ? hw::HwConfig::clientLP()
-                                    : hw::HwConfig::clientHP();
-        cfg.gen.warmup = msec(30);
-        cfg.gen.duration = msec(300);
-        const auto r = core::runMany(cfg, opt);
+    for (std::size_t i = 0; i < kLoads.size(); ++i) {
+        const auto &r = results[base + i];
         std::printf("  %-3s client @ %3.0fK QPS: p99 = %8.2f us %s\n",
-                    lowPowerClient ? "LP" : "HP", qps / 1000,
+                    lowPowerClient ? "LP" : "HP", kLoads[i] / 1000,
                     r.medianP99(),
                     r.medianP99() <= qosUs ? "(meets QoS)" : "(violates)");
         if (r.medianP99() <= qosUs)
-            best = qps;
+            best = kLoads[i];
     }
     return best;
 }
@@ -57,10 +76,11 @@ main()
     std::printf("QoS: p99 <= %.0f us; aggregate load: %.0fM QPS\n\n",
                 qosUs, aggregate / 1e6);
 
+    const auto results = measureBothClients();
     std::printf("LP client's view:\n");
-    const double lpCap = sustainableQps(true, qosUs);
+    const double lpCap = sustainableQps(results, true, qosUs);
     std::printf("\nHP client's view:\n");
-    const double hpCap = sustainableQps(false, qosUs);
+    const double hpCap = sustainableQps(results, false, qosUs);
 
     if (lpCap <= 0 || hpCap <= 0) {
         std::printf("\nNo load level met the QoS — retune the study.\n");

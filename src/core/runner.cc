@@ -1,8 +1,10 @@
 #include "core/runner.hh"
 
 #include <atomic>
-#include <thread>
+#include <mutex>
+#include <utility>
 
+#include "core/scheduler.hh"
 #include "sim/logging.hh"
 #include "stats/descriptive.hh"
 
@@ -54,52 +56,49 @@ RepeatedResult::p99CI(double level) const
 RepeatedResult
 runMany(const ExperimentConfig &cfg, const RunnerOptions &opt)
 {
+    return std::move(runManyBatch({cfg}, opt).front());
+}
+
+std::vector<RepeatedResult>
+runManyBatch(const std::vector<ExperimentConfig> &cfgs,
+             const RunnerOptions &opt, const BatchProgress &progress)
+{
     TPV_ASSERT(opt.runs >= 1, "need at least one run");
+    const std::size_t runs = static_cast<std::size_t>(opt.runs);
 
-    RepeatedResult result;
-    result.runs.resize(static_cast<std::size_t>(opt.runs));
+    std::vector<RepeatedResult> results(cfgs.size());
+    for (RepeatedResult &r : results)
+        r.runs.resize(runs);
 
-    int workers = opt.parallelism;
-    if (workers <= 0)
-        workers = static_cast<int>(std::thread::hardware_concurrency());
-    if (workers < 1)
-        workers = 1;
-    workers = std::min(workers, opt.runs);
+    // Remaining repetitions per entry; the worker that completes an
+    // entry's last repetition aggregates it and reports progress.
+    std::vector<std::atomic<std::size_t>> pending(cfgs.size());
+    for (auto &p : pending)
+        p.store(runs, std::memory_order_relaxed);
+    std::mutex progressMutex;
 
-    std::atomic<int> next{0};
-    auto worker = [&] {
-        while (true) {
-            const int i = next.fetch_add(1);
-            if (i >= opt.runs)
-                return;
-            ExperimentConfig runCfg = cfg;
-            // Widely spaced seeds; SplitMix scrambling in Rng makes
-            // adjacent seeds independent anyway.
-            runCfg.seed =
-                opt.baseSeed + 0x9e3779b97f4a7c15ULL *
-                                   static_cast<std::uint64_t>(i + 1);
-            result.runs[static_cast<std::size_t>(i)] = runOnce(runCfg);
+    Scheduler sched(opt.parallelism);
+    sched.forEach(cfgs.size() * runs, [&](std::size_t task) {
+        const std::size_t entry = task / runs;
+        const std::size_t rep = task % runs;
+        ExperimentConfig runCfg = cfgs[entry];
+        runCfg.seed = deriveRunSeed(opt.baseSeed, static_cast<int>(rep));
+        RepeatedResult &out = results[entry];
+        out.runs[rep] = runOnce(runCfg);
+        if (pending[entry].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            out.avgPerRun.reserve(runs);
+            out.p99PerRun.reserve(runs);
+            for (const RunResult &r : out.runs) {
+                out.avgPerRun.push_back(r.avgUs());
+                out.p99PerRun.push_back(r.p99Us());
+            }
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                progress(entry, out);
+            }
         }
-    };
-
-    if (workers == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(workers));
-        for (int w = 0; w < workers; ++w)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-    }
-
-    result.avgPerRun.reserve(result.runs.size());
-    result.p99PerRun.reserve(result.runs.size());
-    for (const RunResult &r : result.runs) {
-        result.avgPerRun.push_back(r.avgUs());
-        result.p99PerRun.push_back(r.p99Us());
-    }
-    return result;
+    });
+    return results;
 }
 
 } // namespace core

@@ -9,7 +9,9 @@
 #ifndef TPV_CORE_RUNNER_HH
 #define TPV_CORE_RUNNER_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -61,6 +63,25 @@ struct RepeatedResult
  */
 RepeatedResult runMany(const ExperimentConfig &cfg,
                        const RunnerOptions &opt = {});
+
+/** Fired when the last repetition of batch entry @p index finishes
+ *  (the result is fully aggregated at that point). Entries complete
+ *  in arbitrary order under parallel execution; invocations are
+ *  serialised, so the callback needs no locking of its own. */
+using BatchProgress =
+    std::function<void(std::size_t index, const RepeatedResult &result)>;
+
+/**
+ * Run every configuration in @p cfgs opt.runs times, as one flat bag
+ * of (config, repetition) tasks on the work-stealing scheduler —
+ * workers never idle at a configuration boundary while another still
+ * has repetitions left. Repetition r of every entry uses
+ * deriveRunSeed(opt.baseSeed, r), so results[i] is bit-identical to
+ * runMany(cfgs[i], opt) at any parallelism level.
+ */
+std::vector<RepeatedResult>
+runManyBatch(const std::vector<ExperimentConfig> &cfgs,
+             const RunnerOptions &opt, const BatchProgress &progress = {});
 
 } // namespace core
 } // namespace tpv

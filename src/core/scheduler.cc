@@ -1,0 +1,150 @@
+#include "core/scheduler.hh"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace core {
+
+namespace {
+
+/**
+ * One worker's task queue. The owner pops from the front (FIFO, so
+ * parallelism 1 preserves submission order); thieves take from the
+ * back, grabbing the work farthest from what the owner touches next.
+ * A mutex per queue is plenty: tasks are whole simulation runs
+ * (milliseconds to seconds), so queue traffic is never the hot path.
+ */
+struct WorkerQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+};
+
+class BagRun
+{
+  public:
+    BagRun(std::size_t n, int workers,
+           const std::function<void(std::size_t)> &body)
+        : body_(body), queues_(static_cast<std::size_t>(workers))
+    {
+        // Deal tasks out in contiguous blocks so worker 0 starts at
+        // task 0 and stealing pulls from the far end of the bag.
+        const std::size_t w = queues_.size();
+        const std::size_t chunk = (n + w - 1) / w;
+        for (std::size_t q = 0; q < w; ++q) {
+            const std::size_t lo = q * chunk;
+            const std::size_t hi = std::min(n, lo + chunk);
+            for (std::size_t i = lo; i < hi; ++i)
+                queues_[q].tasks.push_back(i);
+        }
+    }
+
+    void
+    work(std::size_t self)
+    {
+        while (!failed_.load(std::memory_order_relaxed)) {
+            std::size_t task;
+            if (!popOwn(self, task) && !steal(self, task))
+                return; // every queue drained
+            try {
+                body_(task);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+                failed_.store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Rethrow the first task exception, if any. */
+    void
+    rethrow()
+    {
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    bool
+    popOwn(std::size_t self, std::size_t &task)
+    {
+        WorkerQueue &q = queues_[self];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.tasks.empty())
+            return false;
+        task = q.tasks.front();
+        q.tasks.pop_front();
+        return true;
+    }
+
+    bool
+    steal(std::size_t self, std::size_t &task)
+    {
+        const std::size_t w = queues_.size();
+        for (std::size_t off = 1; off < w; ++off) {
+            WorkerQueue &victim = queues_[(self + off) % w];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (victim.tasks.empty())
+                continue;
+            task = victim.tasks.back();
+            victim.tasks.pop_back();
+            return true;
+        }
+        return false;
+    }
+
+    const std::function<void(std::size_t)> &body_;
+    std::vector<WorkerQueue> queues_;
+    std::atomic<bool> failed_{false};
+    std::mutex errorMutex_;
+    std::exception_ptr error_;
+};
+
+} // namespace
+
+Scheduler::Scheduler(int parallelism) : workers_(parallelism)
+{
+    if (workers_ <= 0)
+        workers_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers_ < 1)
+        workers_ = 1;
+}
+
+void
+Scheduler::forEach(std::size_t n,
+                   const std::function<void(std::size_t)> &body) const
+{
+    TPV_ASSERT(body != nullptr, "scheduler needs a task body");
+    if (n == 0)
+        return;
+
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(workers_), n));
+
+    BagRun bag(n, workers, body);
+    if (workers == 1) {
+        bag.work(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers) - 1);
+        for (int w = 1; w < workers; ++w)
+            pool.emplace_back(
+                [&bag, w] { bag.work(static_cast<std::size_t>(w)); });
+        bag.work(0); // caller participates as worker 0
+        for (std::thread &t : pool)
+            t.join();
+    }
+    bag.rethrow();
+}
+
+} // namespace core
+} // namespace tpv

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Work-stealing task pool for study execution.
+ *
+ * The paper's methodology multiplies work three ways — configurations
+ * x load points x 50 iid repetitions — and every task is an
+ * independent simulation. Instead of fanning out per cell (which
+ * serialises across cells and leaves workers idle at each cell's
+ * tail), the scheduler executes one flat bag of (config, qps,
+ * repetition) tasks: each worker owns a queue, drains it FIFO, and
+ * when empty steals from the first non-empty peer in a round-robin
+ * scan. Results are written to
+ * pre-sized slots keyed by task index, so the outcome is bit-identical
+ * at any parallelism level.
+ */
+
+#ifndef TPV_CORE_SCHEDULER_HH
+#define TPV_CORE_SCHEDULER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace tpv {
+namespace core {
+
+/**
+ * Seed for repetition @p rep of a study with base seed @p baseSeed.
+ * Widely spaced (golden-ratio stride); SplitMix scrambling in Rng
+ * makes adjacent seeds independent anyway. Every execution path —
+ * per-cell runMany() and full-grid sweep() — derives seeds through
+ * this single function, so results depend only on (baseSeed, rep),
+ * never on which worker ran the task or how wide the pool was.
+ */
+inline std::uint64_t
+deriveRunSeed(std::uint64_t baseSeed, int rep)
+{
+    return baseSeed +
+           0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep + 1);
+}
+
+/**
+ * A bag-of-tasks executor with per-worker queues and work stealing.
+ *
+ * Usage: construct with the desired width, then forEach(n, body)
+ * executes body(0..n-1) across the pool and blocks until every task
+ * finished. The calling thread participates as worker 0, so
+ * parallelism 1 runs inline with no thread spawned at all.
+ *
+ * Exceptions: the first exception thrown by any task is captured,
+ * remaining queued tasks are abandoned, and the exception is rethrown
+ * to the caller of forEach() after the pool quiesces.
+ */
+class Scheduler
+{
+  public:
+    /** @param parallelism worker count; 0 = hardware concurrency. */
+    explicit Scheduler(int parallelism = 0);
+
+    /** Resolved worker count (>= 1). */
+    int workers() const { return workers_; }
+
+    /**
+     * Run body(i) for every i in [0, n), distributed over the pool.
+     * Blocks until all tasks completed (or one threw). Reentrant
+     * calls from inside a task are not supported.
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &body) const;
+
+  private:
+    int workers_;
+};
+
+} // namespace core
+} // namespace tpv
+
+#endif // TPV_CORE_SCHEDULER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "sim/logging.hh"
 #include "stats/ci.hh"
@@ -47,17 +48,36 @@ sweep(const std::vector<std::string> &configs,
       const RunnerOptions &opt,
       const std::function<void(const StudyCell &)> &progress)
 {
+    // Materialise every cell up front (config-major, matching the
+    // historical iteration order) so the grid layout is independent
+    // of execution order, then run the whole grid as one flat bag of
+    // (cell, repetition) tasks: workers never idle at a cell boundary
+    // while another cell still has repetitions to run.
     StudyGrid grid;
+    std::vector<ExperimentConfig> cellCfgs;
     for (const std::string &config : configs) {
         for (double qps : loads) {
             StudyCell cell;
             cell.config = config;
             cell.qps = qps;
-            cell.result = runMany(factory(config, qps), opt);
             grid.cells.push_back(std::move(cell));
-            if (progress)
-                progress(grid.cells.back());
+            cellCfgs.push_back(factory(config, qps));
         }
+    }
+
+    BatchProgress batchProgress;
+    if (progress) {
+        batchProgress = [&](std::size_t idx, const RepeatedResult &r) {
+            grid.cells[idx].result = r;
+            progress(grid.cells[idx]);
+        };
+    }
+    auto results = runManyBatch(cellCfgs, opt, batchProgress);
+    if (!progress) {
+        // With a progress callback every cell was already filled in
+        // above; otherwise adopt the batch results wholesale.
+        for (std::size_t i = 0; i < results.size(); ++i)
+            grid.cells[i].result = std::move(results[i]);
     }
     return grid;
 }
