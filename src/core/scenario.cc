@@ -16,6 +16,10 @@ Scenario::label() const
     out += clientTuned ? "tuned" : "not-tuned";
     out += ", response ";
     out += bigResponseTime ? "big" : "small";
+    if (loadShape != loadgen::LoadProfileKind::Constant) {
+        out += ", load ";
+        out += toString(loadShape);
+    }
     return out;
 }
 
@@ -40,6 +44,24 @@ tableIIIScenarios()
         {SendMode::BusyWait, MeasurePoint::InApp, true, true, "5.2"},
         {SendMode::BusyWait, MeasurePoint::InApp, false, true, "5.2"},
     };
+}
+
+std::vector<Scenario>
+nonstationaryScenarios()
+{
+    using loadgen::LoadProfileKind;
+    std::vector<Scenario> out;
+    for (const Scenario &base : tableIIIScenarios()) {
+        for (LoadProfileKind shape :
+             {LoadProfileKind::Diurnal, LoadProfileKind::Step,
+              LoadProfileKind::Mmpp}) {
+            Scenario s = base;
+            s.loadShape = shape;
+            s.sections = "non-stationary extension";
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
 }
 
 Scenario

@@ -1,6 +1,7 @@
 #include "core/scheduler.hh"
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -108,7 +109,155 @@ class BagRun
     std::exception_ptr error_;
 };
 
+/**
+ * True while this thread is executing a task body. A nested forEach()
+ * from inside a task runs inline-serial instead of touching the pool:
+ * it cannot deadlock on the batch lock, and serial execution keeps the
+ * nested results deterministic.
+ */
+thread_local bool insideTask = false;
+
 } // namespace
+
+/**
+ * The parked worker pool. Helpers sleep on cv_ between batches and
+ * are handed work by bumping epoch_: each helper remembers the last
+ * epoch it saw, so a wakeup is "there is a batch you have not looked
+ * at yet". Helpers whose slot is beyond the batch's width note the
+ * epoch and go straight back to sleep. The submitting thread always
+ * works the bag too (as worker 0) and then parks on doneCv_ until the
+ * last helper checked out, which also publishes every task's writes
+ * to the caller (the decrement of remaining_ happens under mutex_).
+ */
+struct Executor::Impl
+{
+    /** Serialises whole batches: one forEach() owns the pool at a time. */
+    std::mutex batchMutex;
+
+    /** Guards everything below. */
+    std::mutex mutex;
+    std::condition_variable wakeCv;
+    std::condition_variable doneCv;
+    std::vector<std::thread> helpers;
+    BagRun *batch = nullptr;
+    /** Helpers participating in the current batch (prefix of slots). */
+    std::size_t helpersWanted = 0;
+    /** Participants that have not yet finished the current batch. */
+    std::size_t remaining = 0;
+    std::uint64_t epoch = 0;
+    bool stop = false;
+    std::atomic<std::size_t> spawned{0};
+
+    void
+    workerLoop(std::size_t slot)
+    {
+        std::uint64_t seenEpoch = 0;
+        for (;;) {
+            BagRun *bag = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wakeCv.wait(lock, [&] {
+                    return stop || epoch != seenEpoch;
+                });
+                if (stop)
+                    return;
+                seenEpoch = epoch;
+                if (slot < helpersWanted)
+                    bag = batch;
+            }
+            if (!bag)
+                continue;
+            insideTask = true;
+            bag->work(slot + 1); // slot s is worker s+1; 0 is the caller
+            insideTask = false;
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--remaining == 0)
+                doneCv.notify_all();
+        }
+    }
+
+    /** Grow the pool to @p want parked helpers (never shrinks). */
+    void
+    ensureHelpers(std::size_t want)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        while (helpers.size() < want) {
+            const std::size_t slot = helpers.size();
+            helpers.emplace_back([this, slot] { workerLoop(slot); });
+        }
+        spawned.store(helpers.size(), std::memory_order_relaxed);
+    }
+};
+
+Executor::Executor() : impl_(new Impl) {}
+
+Executor::~Executor()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->wakeCv.notify_all();
+    for (std::thread &t : impl_->helpers)
+        t.join();
+    delete impl_;
+}
+
+Executor &
+Executor::instance()
+{
+    static Executor executor;
+    return executor;
+}
+
+std::size_t
+Executor::threadsSpawned() const
+{
+    return impl_->spawned.load(std::memory_order_relaxed);
+}
+
+void
+Executor::run(std::size_t n, int width,
+              const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (width > 1 && n < static_cast<std::size_t>(width))
+        width = static_cast<int>(n);
+
+    if (width <= 1 || insideTask) {
+        BagRun bag(n, 1, body);
+        bag.work(0);
+        bag.rethrow();
+        return;
+    }
+
+    const std::size_t wantedHelpers = static_cast<std::size_t>(width) - 1;
+    std::lock_guard<std::mutex> batchLock(impl_->batchMutex);
+    impl_->ensureHelpers(wantedHelpers);
+
+    BagRun bag(n, width, body);
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->batch = &bag;
+        impl_->helpersWanted = wantedHelpers;
+        impl_->remaining = wantedHelpers;
+        ++impl_->epoch;
+    }
+    impl_->wakeCv.notify_all();
+
+    insideTask = true;
+    bag.work(0); // the submitting thread is worker 0
+    insideTask = false;
+
+    {
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        impl_->doneCv.wait(lock, [&] { return impl_->remaining == 0; });
+        impl_->batch = nullptr;
+        impl_->helpersWanted = 0;
+    }
+    bag.rethrow();
+}
 
 Scheduler::Scheduler(int parallelism) : workers_(parallelism)
 {
@@ -123,27 +272,7 @@ Scheduler::forEach(std::size_t n,
                    const std::function<void(std::size_t)> &body) const
 {
     TPV_ASSERT(body != nullptr, "scheduler needs a task body");
-    if (n == 0)
-        return;
-
-    const int workers =
-        static_cast<int>(std::min<std::size_t>(
-            static_cast<std::size_t>(workers_), n));
-
-    BagRun bag(n, workers, body);
-    if (workers == 1) {
-        bag.work(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(workers) - 1);
-        for (int w = 1; w < workers; ++w)
-            pool.emplace_back(
-                [&bag, w] { bag.work(static_cast<std::size_t>(w)); });
-        bag.work(0); // caller participates as worker 0
-        for (std::thread &t : pool)
-            t.join();
-    }
-    bag.rethrow();
+    Executor::instance().run(n, workers_, body);
 }
 
 } // namespace core

@@ -1,6 +1,7 @@
 /**
  * @file
- * Work-stealing task pool for study execution.
+ * Work-stealing task pool for study execution, backed by a persistent
+ * process-wide worker pool.
  *
  * The paper's methodology multiplies work three ways — configurations
  * x load points x 50 iid repetitions — and every task is an
@@ -12,6 +13,12 @@
  * scan. Results are written to
  * pre-sized slots keyed by task index, so the outcome is bit-identical
  * at any parallelism level.
+ *
+ * Worker threads are spawned once per process and park on a condition
+ * variable between batches, so studies made of many small cells
+ * (Table IV-style iteration sweeps) pay no thread-spawn cost per
+ * forEach() call. Constructing a Scheduler is free: it only records
+ * the requested width; the threads belong to the shared Executor.
  */
 
 #ifndef TPV_CORE_SCHEDULER_HH
@@ -40,12 +47,54 @@ deriveRunSeed(std::uint64_t baseSeed, int rep)
 }
 
 /**
+ * The process-wide pool behind every Scheduler. Helper threads are
+ * spawned lazily up to the widest batch ever requested, park on a
+ * condition variable between batches, and are joined at process exit.
+ * Batches from different caller threads are serialised: one batch owns
+ * the pool at a time (simulation batches are long; queueing them is
+ * the intended behaviour, not a bottleneck).
+ */
+class Executor
+{
+  public:
+    /** The shared process-wide instance. */
+    static Executor &instance();
+
+    /**
+     * Run body(i) for every i in [0, n) across min(width, n) workers.
+     * The calling thread participates as worker 0; width 1 (or n == 1)
+     * runs inline without waking any helper. Blocks until every task
+     * finished (or one threw — the first exception is rethrown after
+     * the batch quiesces).
+     */
+    void run(std::size_t n, int width,
+             const std::function<void(std::size_t)> &body);
+
+    /**
+     * Helper threads spawned so far, process-wide (grows to the widest
+     * batch requested, then stays flat — the churn-free guarantee the
+     * reuse tests assert).
+     */
+    std::size_t threadsSpawned() const;
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+  private:
+    Executor();
+    ~Executor();
+
+    struct Impl;
+    Impl *impl_;
+};
+
+/**
  * A bag-of-tasks executor with per-worker queues and work stealing.
  *
  * Usage: construct with the desired width, then forEach(n, body)
- * executes body(0..n-1) across the pool and blocks until every task
- * finished. The calling thread participates as worker 0, so
- * parallelism 1 runs inline with no thread spawned at all.
+ * executes body(0..n-1) across the shared pool and blocks until every
+ * task finished. The calling thread participates as worker 0, so
+ * parallelism 1 runs inline with no helper woken at all.
  *
  * Exceptions: the first exception thrown by any task is captured,
  * remaining queued tasks are abandoned, and the exception is rethrown

@@ -42,6 +42,36 @@ StudyGrid::loads() const
     return out;
 }
 
+namespace {
+
+/**
+ * Execute pre-materialised cells as one flat scheduler bag and fill
+ * the grid, reporting each fully aggregated cell through @p progress.
+ */
+void
+runGridCells(StudyGrid &grid,
+             const std::vector<ExperimentConfig> &cellCfgs,
+             const RunnerOptions &opt,
+             const std::function<void(const StudyCell &)> &progress)
+{
+    BatchProgress batchProgress;
+    if (progress) {
+        batchProgress = [&](std::size_t idx, const RepeatedResult &r) {
+            grid.cells[idx].result = r;
+            progress(grid.cells[idx]);
+        };
+    }
+    auto results = runManyBatch(cellCfgs, opt, batchProgress);
+    if (!progress) {
+        // With a progress callback every cell was already filled in
+        // above; otherwise adopt the batch results wholesale.
+        for (std::size_t i = 0; i < results.size(); ++i)
+            grid.cells[i].result = std::move(results[i]);
+    }
+}
+
+} // namespace
+
 StudyGrid
 sweep(const std::vector<std::string> &configs,
       const std::vector<double> &loads, const ConfigFactory &factory,
@@ -65,20 +95,50 @@ sweep(const std::vector<std::string> &configs,
         }
     }
 
-    BatchProgress batchProgress;
-    if (progress) {
-        batchProgress = [&](std::size_t idx, const RepeatedResult &r) {
-            grid.cells[idx].result = r;
-            progress(grid.cells[idx]);
-        };
+    runGridCells(grid, cellCfgs, opt, progress);
+    return grid;
+}
+
+StudyGrid
+sweepProfiles(const std::vector<std::string> &configs,
+              const std::vector<loadgen::LoadProfileParams> &profiles,
+              const ProfileConfigFactory &factory,
+              const RunnerOptions &opt,
+              const std::function<void(const StudyCell &)> &progress)
+{
+    // Label profiles by kind, disambiguating repeats ("diurnal",
+    // "diurnal#2", ...) so two profiles of the same kind keep
+    // distinct, addressable cells.
+    std::vector<std::string> shapeNames(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        std::string name = toString(profiles[i].kind);
+        std::size_t repeat = 1;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (profiles[j].kind == profiles[i].kind)
+                ++repeat;
+        }
+        if (repeat > 1) {
+            name += '#';
+            name += std::to_string(repeat);
+        }
+        shapeNames[i] = std::move(name);
     }
-    auto results = runManyBatch(cellCfgs, opt, batchProgress);
-    if (!progress) {
-        // With a progress callback every cell was already filled in
-        // above; otherwise adopt the batch results wholesale.
-        for (std::size_t i = 0; i < results.size(); ++i)
-            grid.cells[i].result = std::move(results[i]);
+
+    StudyGrid grid;
+    std::vector<ExperimentConfig> cellCfgs;
+    for (const std::string &config : configs) {
+        for (std::size_t p = 0; p < profiles.size(); ++p) {
+            ExperimentConfig cfg = factory(config, profiles[p]);
+            cfg.gen.profile = profiles[p];
+            StudyCell cell;
+            cell.config = config + "/" + shapeNames[p];
+            cell.qps = cfg.gen.qps; // the base (unmodulated) rate
+            grid.cells.push_back(std::move(cell));
+            cellCfgs.push_back(std::move(cfg));
+        }
     }
+
+    runGridCells(grid, cellCfgs, opt, progress);
     return grid;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "loadgen/load_profile.hh"
 
 namespace tpv {
 namespace core {
@@ -57,6 +58,26 @@ StudyGrid sweep(const std::vector<std::string> &configs,
                 const ConfigFactory &factory, const RunnerOptions &opt,
                 const std::function<void(const StudyCell &)> &progress =
                     nullptr);
+
+/** Builds an ExperimentConfig for a (label, load profile) pair. */
+using ProfileConfigFactory = std::function<ExperimentConfig(
+    const std::string &label, const loadgen::LoadProfileParams &profile)>;
+
+/**
+ * Run the grid of configurations x load profiles: the non-stationary
+ * counterpart of sweep(), where the swept axis is the *shape* of the
+ * offered load (constant / diurnal / flash crowd / MMPP) at a fixed
+ * base rate instead of a stationary QPS point. Cells are labelled
+ * "<config>/<profile>" and keep the base QPS the factory configured;
+ * execution goes through the same flat task bag, so grids are
+ * bit-identical at any parallelism.
+ */
+StudyGrid
+sweepProfiles(const std::vector<std::string> &configs,
+              const std::vector<loadgen::LoadProfileParams> &profiles,
+              const ProfileConfigFactory &factory, const RunnerOptions &opt,
+              const std::function<void(const StudyCell &)> &progress =
+                  nullptr);
 
 /**
  * The paper's slowdown metric: ratio of mean per-run averages of two

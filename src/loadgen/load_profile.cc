@@ -1,0 +1,181 @@
+#include "loadgen/load_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace loadgen {
+
+namespace {
+
+/** <cmath> M_PI is a POSIX extension; keep the build strict-mode clean. */
+constexpr double kTwoPi = 6.28318530717958647692;
+
+} // namespace
+
+const char *
+toString(LoadProfileKind k)
+{
+    switch (k) {
+      case LoadProfileKind::Constant:
+        return "constant";
+      case LoadProfileKind::Diurnal:
+        return "diurnal";
+      case LoadProfileKind::Step:
+        return "step";
+      case LoadProfileKind::Mmpp:
+        return "mmpp";
+    }
+    return "?";
+}
+
+LoadProfileParams
+LoadProfileParams::constant()
+{
+    return LoadProfileParams{};
+}
+
+LoadProfileParams
+LoadProfileParams::diurnal(double amplitude, Time period, double phase)
+{
+    LoadProfileParams p;
+    p.kind = LoadProfileKind::Diurnal;
+    p.amplitude = amplitude;
+    p.period = period;
+    p.phase = phase;
+    return p;
+}
+
+LoadProfileParams
+LoadProfileParams::flashCrowd(double level, Time start, Time end)
+{
+    LoadProfileParams p;
+    p.kind = LoadProfileKind::Step;
+    p.stepLevel = level;
+    p.stepStart = start;
+    p.stepEnd = end;
+    return p;
+}
+
+LoadProfileParams
+LoadProfileParams::mmpp(double burstLevel, Time meanCalm, Time meanBurst)
+{
+    LoadProfileParams p;
+    p.kind = LoadProfileKind::Mmpp;
+    p.burstLevel = burstLevel;
+    p.meanCalm = meanCalm;
+    p.meanBurst = meanBurst;
+    return p;
+}
+
+LoadProfile::LoadProfile(const LoadProfileParams &params, Time horizon,
+                         Rng rng)
+    : params_(params)
+{
+    switch (params_.kind) {
+      case LoadProfileKind::Constant:
+        maxMult_ = 1.0;
+        break;
+      case LoadProfileKind::Diurnal:
+        if (params_.amplitude < 0 || params_.amplitude > 1)
+            fatal("diurnal amplitude must be in [0, 1], got ",
+                  params_.amplitude);
+        if (params_.period <= 0)
+            fatal("diurnal period must be positive");
+        maxMult_ = 1.0 + params_.amplitude;
+        break;
+      case LoadProfileKind::Step: {
+        if (params_.stepBase <= 0 || params_.stepLevel <= 0)
+            fatal("step profile levels must be positive");
+        if (params_.stepStart >= params_.stepEnd)
+            fatal("step profile needs stepStart < stepEnd");
+        schedule_ = RateSchedule({{0, params_.stepBase},
+                                  {params_.stepStart, params_.stepLevel},
+                                  {params_.stepEnd, params_.stepBase}});
+        maxMult_ = schedule_.maxValue();
+        break;
+      }
+      case LoadProfileKind::Mmpp:
+        if (params_.calmLevel <= 0 || params_.burstLevel <= 0)
+            fatal("MMPP levels must be positive");
+        schedule_ = RateSchedule::markovModulated(
+            params_.calmLevel, params_.burstLevel, params_.meanCalm,
+            params_.meanBurst, std::max<Time>(horizon, 1), rng);
+        maxMult_ = schedule_.maxValue();
+        break;
+    }
+    TPV_ASSERT(maxMult_ > 0, "profile peak multiplier must be positive");
+}
+
+double
+LoadProfile::multiplierAt(Time sinceStart) const
+{
+    switch (params_.kind) {
+      case LoadProfileKind::Constant:
+        return 1.0;
+      case LoadProfileKind::Diurnal: {
+        const double cycles =
+            static_cast<double>(sinceStart) /
+                static_cast<double>(params_.period) +
+            params_.phase;
+        const double m =
+            1.0 + params_.amplitude * std::sin(kTwoPi * cycles);
+        return std::max(0.0, m);
+      }
+      case LoadProfileKind::Step:
+      case LoadProfileKind::Mmpp:
+        return schedule_.at(sinceStart);
+    }
+    return 1.0;
+}
+
+double
+LoadProfile::meanMultiplier(Time horizon) const
+{
+    TPV_ASSERT(horizon > 0, "profile mean needs a positive horizon");
+    switch (params_.kind) {
+      case LoadProfileKind::Constant:
+        return 1.0;
+      case LoadProfileKind::Diurnal: {
+        // Midpoint rule; the integrand is smooth and cheap.
+        const int steps = 4096;
+        double acc = 0;
+        for (int i = 0; i < steps; ++i) {
+            const Time t = static_cast<Time>(
+                (static_cast<double>(i) + 0.5) *
+                static_cast<double>(horizon) / steps);
+            acc += multiplierAt(t);
+        }
+        return acc / steps;
+      }
+      case LoadProfileKind::Step:
+      case LoadProfileKind::Mmpp:
+        return schedule_.meanOver(horizon);
+    }
+    return 1.0;
+}
+
+Time
+LoadProfile::nextArrival(Time from, Time baseGapMean, Rng &rng) const
+{
+    TPV_ASSERT(baseGapMean > 0, "arrival sampling needs a positive gap");
+    if (params_.kind == LoadProfileKind::Constant)
+        return from + rng.exponentialTime(baseGapMean);
+    // Thinning: candidates at the peak rate, accepted in proportion
+    // to the instantaneous multiplier. Zero-multiplier stretches
+    // (e.g. an amplitude-1 diurnal trough) reject every candidate and
+    // the candidate clock simply walks past them.
+    const Time peakGapMean = std::max<Time>(
+        1, static_cast<Time>(static_cast<double>(baseGapMean) / maxMult_));
+    Time t = from;
+    for (;;) {
+        t += rng.exponentialTime(peakGapMean);
+        if (rng.uniform01() * maxMult_ <= multiplierAt(t))
+            return t;
+    }
+}
+
+} // namespace loadgen
+} // namespace tpv

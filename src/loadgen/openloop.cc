@@ -1,5 +1,6 @@
 #include "loadgen/openloop.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/logging.hh"
@@ -36,6 +37,15 @@ OpenLoopGenerator::OpenLoopGenerator(Simulator &sim, hw::Machine &client,
         static_cast<Time>(static_cast<double>(kSecond) / perThreadRate);
     TPV_ASSERT(perThreadGapMean_ > 0, "per-thread rate too high");
 
+    // Materialise a non-constant load profile up front (MMPP samples
+    // its burst trajectory here, so the whole schedule is fixed by the
+    // run seed). The Constant default takes no fork and leaves the
+    // RNG stream — and therefore every stationary result — untouched.
+    if (params_.profile.kind != LoadProfileKind::Constant) {
+        profile_ = std::make_unique<LoadProfile>(
+            params_.profile, params_.windowEnd(), rng.fork());
+    }
+
     gens_.resize(static_cast<std::size_t>(params_.threads));
     for (std::size_t g = 0; g < gens_.size(); ++g) {
         gens_[g].threadIdx = g; // thread 0 of core g
@@ -50,6 +60,7 @@ OpenLoopGenerator::start()
     recorder_.setWindow(now + params_.warmup, now + params_.windowEnd());
     sendDeadline_ = now + params_.windowEnd();
     windowEnd_ = now + params_.windowEnd();
+    profileEpoch_ = now;
 
     for (auto &g : gens_) {
         if (params_.sendMode == SendMode::BusyWait) {
@@ -57,14 +68,35 @@ OpenLoopGenerator::start()
             client_.thread(g.threadIdx).setAlwaysBusy(true);
         }
         // Stagger thread start phases like independent connections.
-        g.nextIntended = now + drawGap(g);
+        g.nextIntended = now + drawGap(g, now);
         scheduleNext(g);
     }
 }
 
 Time
-OpenLoopGenerator::drawGap(GenThread &g)
+OpenLoopGenerator::drawGap(GenThread &g, Time from)
 {
+    if (profile_) {
+        const Time since = from - profileEpoch_;
+        if (params_.interarrival == InterarrivalKind::Exponential) {
+            // Exact non-homogeneous Poisson sampling by thinning.
+            return profile_->nextArrival(since, perThreadGapMean_,
+                                         g.rng) -
+                   since;
+        }
+        // Renewal schedules stretch the next gap by the reciprocal
+        // multiplier at the previous intended instant (piecewise
+        // rate-scaled renewal process).
+        const double m = std::max(profile_->multiplierAt(since), 1e-6);
+        Time gap = perThreadGapMean_;
+        if (params_.interarrival == InterarrivalKind::Lognormal) {
+            const auto mean = static_cast<double>(perThreadGapMean_);
+            gap = static_cast<Time>(
+                g.rng.lognormalMeanSd(mean, params_.lognormalCv * mean));
+        }
+        return std::max<Time>(
+            1, static_cast<Time>(static_cast<double>(gap) / m));
+    }
     switch (params_.interarrival) {
       case InterarrivalKind::Exponential:
         return g.rng.exponentialTime(perThreadGapMean_);
@@ -144,7 +176,7 @@ OpenLoopGenerator::doSend(GenThread &g, Time intended)
 
     // Open loop: the next request follows the schedule regardless of
     // this one's completion.
-    g.nextIntended += drawGap(g);
+    g.nextIntended += drawGap(g, g.nextIntended);
     scheduleNext(g);
 }
 

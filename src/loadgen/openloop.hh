@@ -10,9 +10,11 @@
 #define TPV_LOADGEN_OPENLOOP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "hw/machine.hh"
+#include "loadgen/load_profile.hh"
 #include "loadgen/params.hh"
 #include "loadgen/recorder.hh"
 #include "net/link.hh"
@@ -72,7 +74,14 @@ class OpenLoopGenerator : public net::Endpoint
         Rng rng{0};
     };
 
-    Time drawGap(GenThread &g);
+    /**
+     * Gap to the next intended send after @p from (an intended send
+     * time, so the schedule stays independent of completions). Under a
+     * non-constant profile, exponential schedules sample the exact
+     * non-homogeneous process by thinning; fixed/lognormal schedules
+     * stretch the gap by the reciprocal of the multiplier at @p from.
+     */
+    Time drawGap(GenThread &g, Time from);
     void scheduleNext(GenThread &g);
     void doSend(GenThread &g, Time intended);
     void handleResponse(const net::Message &resp, Time nicTime);
@@ -84,6 +93,11 @@ class OpenLoopGenerator : public net::Endpoint
     OpenLoopParams params_;
     LatencyRecorder recorder_;
     std::vector<GenThread> gens_;
+    /** Materialised rate schedule; null for the Constant profile (the
+     *  stationary fast path, bit-identical to the pre-profile code). */
+    std::unique_ptr<LoadProfile> profile_;
+    /** Sim time of start(); profile times are relative to this. */
+    Time profileEpoch_ = 0;
     Time perThreadGapMean_ = 0;
     Time sendDeadline_ = 0;
     Time windowEnd_ = 0;

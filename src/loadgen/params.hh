@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "loadgen/load_profile.hh"
 #include "net/message.hh"
 #include "sim/random.hh"
 #include "sim/time.hh"
@@ -89,6 +90,13 @@ struct OpenLoopParams
     std::uint32_t requestBytes = 100;
     /** Optional service-specific request filler. */
     RequestModel requestModel;
+    /**
+     * Offered-load schedule: the base qps is modulated by this
+     * profile's time-varying multiplier (diurnal swing, flash crowd,
+     * MMPP bursts). The default Constant profile reproduces the
+     * stationary arrival process bit-for-bit.
+     */
+    LoadProfileParams profile;
     /**
      * wrk2-style coordinated-omission correction: measure latency
      * from the *intended* send time instead of the actual one, so a

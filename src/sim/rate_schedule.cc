@@ -1,0 +1,85 @@
+#include "sim/rate_schedule.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+
+RateSchedule::RateSchedule(std::vector<Segment> segments)
+    : segments_(std::move(segments))
+{
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        TPV_ASSERT(segments_[i].value >= 0,
+                   "rate schedule values must be non-negative");
+        TPV_ASSERT(i == 0 || segments_[i - 1].start <= segments_[i].start,
+                   "rate schedule segments must be sorted");
+    }
+}
+
+double
+RateSchedule::at(Time t) const
+{
+    if (segments_.empty())
+        return 1.0;
+    // First segment whose start is > t; the one before it applies.
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), t,
+        [](Time lhs, const Segment &s) { return lhs < s.start; });
+    if (it == segments_.begin())
+        return it->value; // before the first segment: clamp
+    return (it - 1)->value;
+}
+
+double
+RateSchedule::maxValue() const
+{
+    double best = segments_.empty() ? 1.0 : segments_.front().value;
+    for (const Segment &s : segments_)
+        best = std::max(best, s.value);
+    return best;
+}
+
+double
+RateSchedule::meanOver(Time horizon) const
+{
+    TPV_ASSERT(horizon > 0, "rate schedule mean needs a positive horizon");
+    if (segments_.empty())
+        return 1.0;
+    double weighted = 0;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const Time lo = std::max<Time>(0, segments_[i].start);
+        const Time hi = std::min(horizon, i + 1 < segments_.size()
+                                              ? segments_[i + 1].start
+                                              : horizon);
+        if (hi > lo)
+            weighted += segments_[i].value * static_cast<double>(hi - lo);
+    }
+    // Anything before the first segment clamps to its value.
+    if (segments_.front().start > 0) {
+        const Time head = std::min(horizon, segments_.front().start);
+        weighted += segments_.front().value * static_cast<double>(head);
+    }
+    return weighted / static_cast<double>(horizon);
+}
+
+RateSchedule
+RateSchedule::markovModulated(double calmValue, double burstValue,
+                              Time meanCalm, Time meanBurst, Time horizon,
+                              Rng &rng)
+{
+    TPV_ASSERT(meanCalm > 0 && meanBurst > 0,
+               "MMPP dwell times must be positive");
+    TPV_ASSERT(horizon > 0, "MMPP horizon must be positive");
+    std::vector<Segment> segs;
+    Time t = 0;
+    bool burst = false;
+    while (t < horizon) {
+        segs.push_back({t, burst ? burstValue : calmValue});
+        t += rng.exponentialTime(burst ? meanBurst : meanCalm);
+        burst = !burst;
+    }
+    return RateSchedule(std::move(segs));
+}
+
+} // namespace tpv

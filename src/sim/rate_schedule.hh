@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Piecewise-constant rate schedules over simulated time.
+ *
+ * Non-stationary arrival processes modulate a base rate by a
+ * time-varying multiplier. Step changes (flash crowds) and Markov-
+ * modulated processes (MMPP bursts) are naturally piecewise constant;
+ * this type stores the segment list, answers point queries by binary
+ * search, and samples Markov-modulated trajectories deterministically
+ * from an Rng so a run's schedule depends only on its seed.
+ */
+
+#ifndef TPV_SIM_RATE_SCHEDULE_HH
+#define TPV_SIM_RATE_SCHEDULE_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/time.hh"
+
+namespace tpv {
+
+/**
+ * A non-negative step function of simulated time. Empty = constant 1
+ * everywhere. Before the first segment and after the last the nearest
+ * segment's value applies, so queries past the materialised horizon
+ * stay well-defined (the tail keeps the final level).
+ */
+class RateSchedule
+{
+  public:
+    /** The function takes @p value from @p start onwards. */
+    struct Segment
+    {
+        Time start = 0;
+        double value = 1.0;
+    };
+
+    /** Constant 1. */
+    RateSchedule() = default;
+
+    /**
+     * Build from segments. @p segments must be sorted by start time
+     * with non-negative values; aborts otherwise.
+     */
+    explicit RateSchedule(std::vector<Segment> segments);
+
+    /** Value at time @p t. */
+    double at(Time t) const;
+
+    /** Largest segment value (1 for the empty schedule). */
+    double maxValue() const;
+
+    /** Time-weighted mean over [0, horizon). */
+    double meanOver(Time horizon) const;
+
+    /** Segment list (empty = constant 1). */
+    const std::vector<Segment> &segments() const { return segments_; }
+
+    /**
+     * Sample a two-state Markov-modulated trajectory on [0, horizon):
+     * the process alternates between a calm level and a burst level,
+     * dwelling exponentially with means @p meanCalm / @p meanBurst,
+     * starting calm. The classic MMPP(2) arrival modulator.
+     */
+    static RateSchedule markovModulated(double calmValue,
+                                        double burstValue, Time meanCalm,
+                                        Time meanBurst, Time horizon,
+                                        Rng &rng);
+
+  private:
+    std::vector<Segment> segments_;
+};
+
+} // namespace tpv
+
+#endif // TPV_SIM_RATE_SCHEDULE_HH

@@ -108,6 +108,63 @@ TEST(Scheduler, StressManyMoreTasksThanThreads)
     EXPECT_EQ(seen.size(), n);
 }
 
+TEST(Scheduler, PersistentPoolAvoidsThreadChurn)
+{
+    // Helpers are spawned once, process-wide, and parked between
+    // batches: repeated forEach() calls — the many-small-batches
+    // pattern of Table IV iteration sweeps — must not spawn threads.
+    Scheduler sched(4);
+    std::atomic<int> count{0};
+    sched.forEach(16, [&](std::size_t) { ++count; });
+    const std::size_t spawned = Executor::instance().threadsSpawned();
+    EXPECT_GE(spawned, 3u); // at least this batch's helpers exist
+    for (int i = 0; i < 200; ++i)
+        sched.forEach(8, [&](std::size_t) { ++count; });
+    EXPECT_EQ(Executor::instance().threadsSpawned(), spawned);
+    EXPECT_EQ(count.load(), 16 + 200 * 8);
+}
+
+TEST(Scheduler, PoolGrowsToWidestRequestThenStaysFlat)
+{
+    Scheduler narrow(2), wide(6);
+    narrow.forEach(4, [](std::size_t) {});
+    wide.forEach(12, [](std::size_t) {});
+    const std::size_t spawned = Executor::instance().threadsSpawned();
+    EXPECT_GE(spawned, 5u);
+    // Narrower batches reuse the existing helpers.
+    narrow.forEach(4, [](std::size_t) {});
+    wide.forEach(12, [](std::size_t) {});
+    EXPECT_EQ(Executor::instance().threadsSpawned(), spawned);
+}
+
+TEST(Scheduler, NestedForEachRunsInlineWithoutDeadlock)
+{
+    // A task that itself calls forEach() must not touch the pool (the
+    // batch lock is held); nested bags run inline-serial instead.
+    std::atomic<int> inner{0};
+    Scheduler sched(4);
+    sched.forEach(8, [&](std::size_t) {
+        Scheduler(4).forEach(5, [&](std::size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 8 * 5);
+}
+
+TEST(Scheduler, ConcurrentCallersSerialiseBatches)
+{
+    // Two threads submitting batches at once: batches own the pool one
+    // at a time and every task of both still runs exactly once.
+    std::atomic<int> count{0};
+    auto submit = [&] {
+        Scheduler sched(4);
+        for (int i = 0; i < 20; ++i)
+            sched.forEach(50, [&](std::size_t) { ++count; });
+    };
+    std::thread a(submit), b(submit);
+    a.join();
+    b.join();
+    EXPECT_EQ(count.load(), 2 * 20 * 50);
+}
+
 TEST(Scheduler, SeedDerivationIsStrided)
 {
     EXPECT_EQ(deriveRunSeed(42, 0), 42 + 0x9e3779b97f4a7c15ULL);

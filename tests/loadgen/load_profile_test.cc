@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for non-stationary load profiles: shape queries, empirical
+ * mean rate, and burstiness (index of dispersion of counts) of the
+ * arrival processes each profile induces.
+ */
+
+#include "loadgen/load_profile.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpv {
+namespace loadgen {
+namespace {
+
+/** Arrivals of the profile-modulated process on [0, horizon). */
+std::vector<Time>
+sampleArrivals(const LoadProfile &p, Time baseGapMean, Time horizon,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Time> arrivals;
+    Time t = 0;
+    for (;;) {
+        t = p.nextArrival(t, baseGapMean, rng);
+        if (t >= horizon)
+            return arrivals;
+        arrivals.push_back(t);
+    }
+}
+
+/** Index of dispersion of counts: var/mean of per-bin arrival counts.
+ *  1 for a homogeneous Poisson process, > 1 for bursty processes. */
+double
+indexOfDispersion(const std::vector<Time> &arrivals, Time horizon,
+                  Time binWidth)
+{
+    const std::size_t bins =
+        static_cast<std::size_t>(horizon / binWidth);
+    std::vector<double> counts(bins, 0.0);
+    for (Time t : arrivals) {
+        const std::size_t b = static_cast<std::size_t>(t / binWidth);
+        if (b < bins)
+            counts[b] += 1.0;
+    }
+    double mean = 0;
+    for (double c : counts)
+        mean += c;
+    mean /= static_cast<double>(bins);
+    double var = 0;
+    for (double c : counts)
+        var += (c - mean) * (c - mean);
+    var /= static_cast<double>(bins - 1);
+    return var / mean;
+}
+
+constexpr Time kHorizon = seconds(2);
+constexpr Time kBaseGap = usec(100); // base rate 10k/s
+constexpr Time kBin = msec(10);
+
+TEST(LoadProfile, ConstantIsOneEverywhere)
+{
+    LoadProfile p(LoadProfileParams::constant(), kHorizon, Rng(1));
+    EXPECT_DOUBLE_EQ(p.multiplierAt(0), 1.0);
+    EXPECT_DOUBLE_EQ(p.multiplierAt(seconds(1)), 1.0);
+    EXPECT_DOUBLE_EQ(p.maxMultiplier(), 1.0);
+    EXPECT_DOUBLE_EQ(p.meanMultiplier(kHorizon), 1.0);
+}
+
+TEST(LoadProfile, DiurnalShape)
+{
+    // Amplitude 0.5, period 1s, no phase: peak at t=250ms, trough at
+    // t=750ms, back to 1 at whole half-periods.
+    LoadProfile p(LoadProfileParams::diurnal(0.5, seconds(1)), kHorizon,
+                  Rng(1));
+    EXPECT_NEAR(p.multiplierAt(0), 1.0, 1e-9);
+    EXPECT_NEAR(p.multiplierAt(msec(250)), 1.5, 1e-9);
+    EXPECT_NEAR(p.multiplierAt(msec(750)), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(p.maxMultiplier(), 1.5);
+    // Whole periods average out to the base rate.
+    EXPECT_NEAR(p.meanMultiplier(seconds(2)), 1.0, 1e-3);
+}
+
+TEST(LoadProfile, StepShape)
+{
+    LoadProfile p(
+        LoadProfileParams::flashCrowd(3.0, msec(500), msec(1500)),
+        kHorizon, Rng(1));
+    EXPECT_DOUBLE_EQ(p.multiplierAt(msec(100)), 1.0);
+    EXPECT_DOUBLE_EQ(p.multiplierAt(msec(500)), 3.0);
+    EXPECT_DOUBLE_EQ(p.multiplierAt(msec(1499)), 3.0);
+    EXPECT_DOUBLE_EQ(p.multiplierAt(msec(1500)), 1.0);
+    EXPECT_DOUBLE_EQ(p.maxMultiplier(), 3.0);
+    // Crowd covers half the 2s horizon: mean = (1 + 3) / 2.
+    EXPECT_NEAR(p.meanMultiplier(kHorizon), 2.0, 1e-9);
+}
+
+TEST(LoadProfile, MmppAlternatesBetweenLevels)
+{
+    LoadProfile p(LoadProfileParams::mmpp(4.0, msec(50), msec(20)),
+                  kHorizon, Rng(31337));
+    bool sawCalm = false, sawBurst = false;
+    for (Time t = 0; t < kHorizon; t += msec(1)) {
+        const double m = p.multiplierAt(t);
+        EXPECT_TRUE(m == 1.0 || m == 4.0) << "unexpected level " << m;
+        sawCalm = sawCalm || m == 1.0;
+        sawBurst = sawBurst || m == 4.0;
+    }
+    EXPECT_TRUE(sawCalm);
+    EXPECT_TRUE(sawBurst);
+    EXPECT_DOUBLE_EQ(p.maxMultiplier(), 4.0);
+}
+
+TEST(LoadProfile, EmpiricalMeanRateMatchesProfileMean)
+{
+    // For every shape, the realised arrival count over the horizon
+    // must match base rate x the profile's own mean multiplier.
+    const std::vector<LoadProfileParams> shapes = {
+        LoadProfileParams::constant(),
+        LoadProfileParams::diurnal(0.8, msec(400)),
+        LoadProfileParams::flashCrowd(3.0, msec(500), msec(1500)),
+        LoadProfileParams::mmpp(4.0, msec(50), msec(20)),
+    };
+    for (const auto &shape : shapes) {
+        LoadProfile p(shape, kHorizon, Rng(9));
+        const auto arrivals = sampleArrivals(p, kBaseGap, kHorizon, 17);
+        const double expected = static_cast<double>(kHorizon) /
+                                static_cast<double>(kBaseGap) *
+                                p.meanMultiplier(kHorizon);
+        EXPECT_NEAR(static_cast<double>(arrivals.size()), expected,
+                    0.05 * expected)
+            << toString(shape.kind);
+    }
+}
+
+TEST(LoadProfile, ConstantArrivalsArePoisson)
+{
+    LoadProfile p(LoadProfileParams::constant(), kHorizon, Rng(2));
+    const auto arrivals = sampleArrivals(p, kBaseGap, kHorizon, 23);
+    const double idc = indexOfDispersion(arrivals, kHorizon, kBin);
+    // Homogeneous Poisson: IDC ~ 1.
+    EXPECT_GT(idc, 0.6);
+    EXPECT_LT(idc, 1.6);
+}
+
+TEST(LoadProfile, NonstationaryShapesAreOverdispersed)
+{
+    // Burstiness check: rate modulation inflates the variance of
+    // per-bin counts well past Poisson (IDC = 1).
+    const std::vector<LoadProfileParams> shapes = {
+        LoadProfileParams::diurnal(0.8, msec(400)),
+        LoadProfileParams::flashCrowd(3.0, msec(500), msec(1500)),
+        LoadProfileParams::mmpp(4.0, msec(50), msec(20)),
+    };
+    for (const auto &shape : shapes) {
+        LoadProfile p(shape, kHorizon, Rng(5));
+        const auto arrivals = sampleArrivals(p, kBaseGap, kHorizon, 29);
+        const double idc = indexOfDispersion(arrivals, kHorizon, kBin);
+        EXPECT_GT(idc, 2.0) << toString(shape.kind)
+                            << " should be bursty, IDC = " << idc;
+    }
+}
+
+TEST(LoadProfile, ThinningIsSeedDeterministic)
+{
+    LoadProfile p(LoadProfileParams::mmpp(4.0, msec(50), msec(20)),
+                  kHorizon, Rng(77));
+    const auto a = sampleArrivals(p, kBaseGap, kHorizon, 1234);
+    const auto b = sampleArrivals(p, kBaseGap, kHorizon, 1234);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(LoadProfile, RejectsBadParameters)
+{
+    EXPECT_DEATH(LoadProfile(LoadProfileParams::diurnal(1.5, seconds(1)),
+                             kHorizon, Rng(1)),
+                 "amplitude");
+    EXPECT_DEATH(
+        LoadProfile(LoadProfileParams::flashCrowd(3.0, msec(500),
+                                                  msec(100)),
+                    kHorizon, Rng(1)),
+        "stepStart");
+    auto zeroLevel = LoadProfileParams::mmpp(4.0, msec(50), msec(20));
+    zeroLevel.burstLevel = 0;
+    EXPECT_DEATH(LoadProfile(zeroLevel, kHorizon, Rng(1)), "levels");
+}
+
+} // namespace
+} // namespace loadgen
+} // namespace tpv

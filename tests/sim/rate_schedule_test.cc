@@ -1,0 +1,129 @@
+/** @file Tests for piecewise-constant rate schedules. */
+
+#include "sim/rate_schedule.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpv {
+namespace {
+
+TEST(RateSchedule, EmptyScheduleIsConstantOne)
+{
+    RateSchedule s;
+    EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(seconds(5)), 1.0);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 1.0);
+    EXPECT_DOUBLE_EQ(s.meanOver(seconds(1)), 1.0);
+}
+
+TEST(RateSchedule, PointQueriesPickTheGoverningSegment)
+{
+    RateSchedule s({{msec(10), 2.0}, {msec(20), 5.0}, {msec(30), 1.0}});
+    // Before the first segment: clamp to its value.
+    EXPECT_DOUBLE_EQ(s.at(0), 2.0);
+    EXPECT_DOUBLE_EQ(s.at(msec(10)), 2.0);
+    EXPECT_DOUBLE_EQ(s.at(msec(19)), 2.0);
+    EXPECT_DOUBLE_EQ(s.at(msec(20)), 5.0);
+    EXPECT_DOUBLE_EQ(s.at(msec(25)), 5.0);
+    // Past the last segment: the tail keeps the final level.
+    EXPECT_DOUBLE_EQ(s.at(seconds(9)), 1.0);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 5.0);
+}
+
+TEST(RateSchedule, EqualStartsLaterSegmentWins)
+{
+    RateSchedule s({{0, 1.0}, {msec(5), 2.0}, {msec(5), 3.0}});
+    EXPECT_DOUBLE_EQ(s.at(msec(5)), 3.0);
+    EXPECT_DOUBLE_EQ(s.at(msec(4)), 1.0);
+}
+
+TEST(RateSchedule, MeanIsTimeWeighted)
+{
+    // 1x for 10ms, 3x for 10ms, 1x afterwards.
+    RateSchedule s({{0, 1.0}, {msec(10), 3.0}, {msec(20), 1.0}});
+    EXPECT_NEAR(s.meanOver(msec(20)), 2.0, 1e-12);
+    EXPECT_NEAR(s.meanOver(msec(40)), 1.5, 1e-12);
+    // Head clamp counts too: first segment starting late extends back.
+    RateSchedule late({{msec(10), 4.0}});
+    EXPECT_NEAR(late.meanOver(msec(20)), 4.0, 1e-12);
+}
+
+TEST(RateSchedule, MarkovModulatedAlternatesAndCoversHorizon)
+{
+    Rng rng(7);
+    const auto s = RateSchedule::markovModulated(1.0, 4.0, msec(20),
+                                                msec(5), seconds(1), rng);
+    const auto &segs = s.segments();
+    ASSERT_FALSE(segs.empty());
+    EXPECT_EQ(segs.front().start, 0);
+    EXPECT_DOUBLE_EQ(segs.front().value, 1.0); // starts calm
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+        // Strict alternation between the two levels.
+        EXPECT_DOUBLE_EQ(segs[i].value, i % 2 == 0 ? 1.0 : 4.0);
+        if (i > 0) {
+            EXPECT_GE(segs[i].start, segs[i - 1].start);
+        }
+    }
+    // The trajectory reaches the horizon (last dwell may overrun it).
+    EXPECT_LT(segs.back().start, seconds(1));
+    EXPECT_DOUBLE_EQ(s.maxValue(), 4.0);
+}
+
+TEST(RateSchedule, MarkovModulatedIsSeedDeterministic)
+{
+    Rng a(99), b(99), c(100);
+    const auto s1 = RateSchedule::markovModulated(1.0, 3.0, msec(10),
+                                                 msec(10), seconds(1), a);
+    const auto s2 = RateSchedule::markovModulated(1.0, 3.0, msec(10),
+                                                 msec(10), seconds(1), b);
+    const auto s3 = RateSchedule::markovModulated(1.0, 3.0, msec(10),
+                                                 msec(10), seconds(1), c);
+    ASSERT_EQ(s1.segments().size(), s2.segments().size());
+    for (std::size_t i = 0; i < s1.segments().size(); ++i) {
+        EXPECT_EQ(s1.segments()[i].start, s2.segments()[i].start);
+        EXPECT_EQ(s1.segments()[i].value, s2.segments()[i].value);
+    }
+    // A different seed gives a different trajectory.
+    bool differs = s1.segments().size() != s3.segments().size();
+    for (std::size_t i = 0;
+         !differs && i < s1.segments().size(); ++i)
+        differs = s1.segments()[i].start != s3.segments()[i].start;
+    EXPECT_TRUE(differs);
+}
+
+TEST(RateSchedule, MarkovModulatedDwellMeansMatch)
+{
+    // Long trajectory: empirical mean dwell in each state approaches
+    // the configured means.
+    Rng rng(4242);
+    const Time horizon = seconds(200);
+    const auto s = RateSchedule::markovModulated(1.0, 2.0, msec(20),
+                                                msec(5), horizon, rng);
+    const auto &segs = s.segments();
+    double calmTotal = 0, burstTotal = 0;
+    std::size_t calmN = 0, burstN = 0;
+    for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+        const double dwell =
+            static_cast<double>(segs[i + 1].start - segs[i].start);
+        if (segs[i].value == 1.0) {
+            calmTotal += dwell;
+            ++calmN;
+        } else {
+            burstTotal += dwell;
+            ++burstN;
+        }
+    }
+    ASSERT_GT(calmN, 1000u);
+    ASSERT_GT(burstN, 1000u);
+    EXPECT_NEAR(calmTotal / static_cast<double>(calmN),
+                static_cast<double>(msec(20)),
+                0.1 * static_cast<double>(msec(20)));
+    EXPECT_NEAR(burstTotal / static_cast<double>(burstN),
+                static_cast<double>(msec(5)),
+                0.1 * static_cast<double>(msec(5)));
+}
+
+} // namespace
+} // namespace tpv
