@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hedged-requests example: buying back the fan-out tail.
+ *
+ * An 8-shard HDSearch query waits for its slowest shard, so the p99
+ * is dominated by the scan distribution's tail. Hedging re-issues a
+ * shard's sub-request to the backup replica when no reply has arrived
+ * after a delay; the first reply wins and the loser is discarded.
+ * This example sweeps the hedge delay at a fixed topology (8 shards,
+ * 2 replicas) and prints the latency alongside the cost: how many
+ * hedges fired and what fraction of the service work was thrown away.
+ * Aggressive hedging (small delay) wastes the most work for the best
+ * tail; the knee is usually near the scan-time p95.
+ *
+ *   $ ./build/examples/hedged_requests
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/runner.hh"
+#include "svc/topology.hh"
+
+using namespace tpv;
+
+int
+main()
+{
+    core::RunnerOptions opt;
+    opt.runs = 8;
+
+    const std::vector<Time> hedgeDelays = {0, usec(1200), usec(900),
+                                           usec(600), usec(400)};
+    std::vector<core::ExperimentConfig> cfgs;
+    for (Time delay : hedgeDelays) {
+        auto cfg = core::ExperimentConfig::forHdSearch(1000);
+        cfg.gen.warmup = msec(30);
+        cfg.gen.duration = msec(300);
+        // Heavy-tailed scans (cv = 1): the straggler-dominated regime
+        // where hedging earns its keep.
+        cfg.hdsearch.bucketSd = cfg.hdsearch.bucketMean;
+        core::applyTopology(cfg, svc::TopologyShape{8, 2, delay});
+        cfgs.push_back(std::move(cfg));
+    }
+    const auto results = core::runManyBatch(cfgs, opt);
+
+    std::printf("HDSearch @ 1000 QPS, 8 shards x 2 replicas, hedge "
+                "delay sweep\n\n");
+    std::printf("%-12s %10s %10s %12s %10s\n", "hedge", "avg (us)",
+                "p99 (us)", "hedges/req", "waste %");
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        double hedges = 0, requests = 0, dup = 0, all = 0;
+        for (const auto &run : results[i].runs) {
+            hedges += static_cast<double>(run.service.hedgesSent);
+            requests +=
+                static_cast<double>(run.service.requestsReceived);
+            dup += static_cast<double>(
+                run.service.duplicateWorkDispatched);
+            all += static_cast<double>(run.service.serviceWorkDispatched);
+        }
+        std::printf("%-12s %10.1f %10.1f %12.3f %10.2f\n",
+                    hedgeDelays[i] == 0
+                        ? "off"
+                        : formatTime(hedgeDelays[i]).c_str(),
+                    results[i].medianAvg(), results[i].medianP99(),
+                    requests > 0 ? hedges / requests : 0.0,
+                    all > 0 ? 100.0 * dup / all : 0.0);
+    }
+
+    const double tailCut =
+        results.back().medianP99() / results.front().medianP99();
+    std::printf("\nAggressive hedging moved the p99 to %.2fx the "
+                "unhedged tail.\nEvery duplicate scan is priced in "
+                "ServiceStats::duplicateWorkDispatched — pick the\n"
+                "delay where the tail stops improving faster than the "
+                "waste grows.\n(Rerun with cfg.hdsearch.bucketSd at its "
+                "stock cv = 0.3 to see the other regime:\na "
+                "queueing-dominated tail that hedging cannot buy "
+                "back.)\n",
+                tailCut);
+    return 0;
+}

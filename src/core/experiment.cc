@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "loadgen/openloop.hh"
@@ -101,6 +102,15 @@ ExperimentConfig::forSynthetic(double qps, Time addedDelay)
     return cfg;
 }
 
+void
+applyTopology(ExperimentConfig &cfg, const svc::TopologyShape &shape)
+{
+    cfg.topology = shape;
+    cfg.hdsearch.fanout = shape.shards;
+    cfg.hdsearch.replicas = shape.replicas;
+    cfg.hdsearch.hedgeDelay = shape.hedgeDelay;
+}
+
 namespace {
 
 /**
@@ -150,30 +160,37 @@ runOnce(const ExperimentConfig &cfg)
     // machine, the multi-tier clusters build their machines inside.
     std::unique_ptr<hw::Machine> serverMachine;
     std::unique_ptr<net::Endpoint> service;
+    std::function<const svc::ServiceStats &()> serviceStats;
+    auto adopt = [&](auto srv) {
+        serviceStats = [s = srv.get()]() -> const svc::ServiceStats & {
+            return s->stats();
+        };
+        service = std::move(srv);
+    };
     switch (cfg.workload) {
       case WorkloadKind::Memcached:
         serverMachine = std::make_unique<hw::Machine>(
             sim, cfg.server, "server", rootRng.u64());
-        service = std::make_unique<svc::MemcachedServer>(
+        adopt(std::make_unique<svc::MemcachedServer>(
             sim, *serverMachine, serverToClient, gen, rootRng.fork(),
-            cfg.memcached);
+            cfg.memcached));
         break;
       case WorkloadKind::Synthetic:
         serverMachine = std::make_unique<hw::Machine>(
             sim, cfg.server, "server", rootRng.u64());
-        service = std::make_unique<svc::SyntheticServer>(
+        adopt(std::make_unique<svc::SyntheticServer>(
             sim, *serverMachine, serverToClient, gen, rootRng.fork(),
-            cfg.synthetic);
+            cfg.synthetic));
         break;
       case WorkloadKind::HdSearch:
-        service = std::make_unique<svc::HdSearchCluster>(
+        adopt(std::make_unique<svc::HdSearchCluster>(
             sim, cfg.server, serverToClient, gen, rootRng.fork(),
-            cfg.hdsearch);
+            cfg.hdsearch));
         break;
       case WorkloadKind::SocialNetwork:
-        service = std::make_unique<svc::SocialNetworkApp>(
+        adopt(std::make_unique<svc::SocialNetworkApp>(
             sim, cfg.server, serverToClient, gen, rootRng.fork(),
-            cfg.socialnet);
+            cfg.socialnet));
         break;
     }
     serverDoor.target = service.get();
@@ -192,6 +209,7 @@ runOnce(const ExperimentConfig &cfg)
     out.clientHw = clientMachine.stats();
     if (serverMachine)
         out.serverHw = serverMachine->stats();
+    out.service = serviceStats();
     out.events = sim.executedEvents();
     return out;
 }

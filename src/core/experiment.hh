@@ -51,6 +51,12 @@ struct ExperimentConfig
     svc::SyntheticParams synthetic;
     svc::HdSearchParams hdsearch;
     svc::SocialNetworkParams socialnet;
+    /**
+     * Service-topology knobs (shards / replicas / hedge delay), the
+     * record of what applyTopology() configured. Sweep this axis with
+     * core::sweepTopologies().
+     */
+    svc::TopologyShape topology;
     std::uint64_t seed = 1;
 
     /** Short human-readable tag for reports ("LP-SMToff"). */
@@ -77,6 +83,15 @@ struct ExperimentConfig
     static ExperimentConfig forSynthetic(double qps, Time addedDelay);
 };
 
+/**
+ * Apply a topology shape to @p cfg: shard count, replica count and
+ * hedge delay land on the workload's scatter-gather parameters (the
+ * HDSearch fan-out today; future sharded services pick them up here).
+ * The shape is also recorded in cfg.topology for reporting.
+ */
+void applyTopology(ExperimentConfig &cfg,
+                   const svc::TopologyShape &shape);
+
 /** Metrics of a single run (one repetition). */
 struct RunResult
 {
@@ -92,6 +107,8 @@ struct RunResult
      *  multi-machine clusters, whose machines live inside the
      *  service). */
     hw::MachineStats serverHw;
+    /** Service-side counters (fan-out, hedging, duplicate work). */
+    svc::ServiceStats service;
     /** Simulated events executed (simulator cost diagnostics). */
     std::uint64_t events = 0;
 

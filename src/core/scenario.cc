@@ -20,6 +20,11 @@ Scenario::label() const
         out += ", load ";
         out += toString(loadShape);
     }
+    if (topology.shards > 1 || topology.replicas > 1 ||
+        topology.hedgeDelay > 0) {
+        out += ", topo ";
+        out += topology.label();
+    }
     return out;
 }
 
@@ -36,13 +41,23 @@ tableIIIScenarios()
 {
     using loadgen::MeasurePoint;
     using loadgen::SendMode;
+    // Row builder over the defaulted Scenario, so new defaulted
+    // fields (loadShape, topology) need no per-row mention.
+    const auto row = [](SendMode ia, bool tuned, bool big,
+                        const char *sections) {
+        Scenario s;
+        s.interarrival = ia;
+        s.measure = MeasurePoint::InApp;
+        s.clientTuned = tuned;
+        s.bigResponseTime = big;
+        s.sections = sections;
+        return s;
+    };
     return {
-        {SendMode::BlockWait, MeasurePoint::InApp, true, false,
-         "5.1, 5.3"},
-        {SendMode::BlockWait, MeasurePoint::InApp, false, false,
-         "5.1, 5.3"},
-        {SendMode::BusyWait, MeasurePoint::InApp, true, true, "5.2"},
-        {SendMode::BusyWait, MeasurePoint::InApp, false, true, "5.2"},
+        row(SendMode::BlockWait, true, false, "5.1, 5.3"),
+        row(SendMode::BlockWait, false, false, "5.1, 5.3"),
+        row(SendMode::BusyWait, true, true, "5.2"),
+        row(SendMode::BusyWait, false, true, "5.2"),
     };
 }
 
@@ -58,6 +73,26 @@ nonstationaryScenarios()
             Scenario s = base;
             s.loadShape = shape;
             s.sections = "non-stationary extension";
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+std::vector<Scenario>
+topologyScenarios()
+{
+    const std::vector<svc::TopologyShape> shapes = {
+        {8, 1, 0},          // wide sharded fan-out
+        {8, 2, 0},          // ... with a replica per shard
+        {8, 2, usec(500)},  // ... and hedged slow shards
+    };
+    std::vector<Scenario> out;
+    for (const Scenario &base : tableIIIScenarios()) {
+        for (const svc::TopologyShape &shape : shapes) {
+            Scenario s = base;
+            s.topology = shape;
+            s.sections = "topology extension";
             out.push_back(std::move(s));
         }
     }

@@ -14,6 +14,7 @@
 #include "loadgen/load_profile.hh"
 #include "loadgen/params.hh"
 #include "sim/time.hh"
+#include "svc/topology.hh"
 
 namespace tpv {
 namespace core {
@@ -37,6 +38,13 @@ struct Scenario
      * under diurnal, flash-crowd, and MMPP arrival schedules.
      */
     loadgen::LoadProfileKind loadShape = loadgen::LoadProfileKind::Constant;
+    /**
+     * Service topology under test. The paper's rows all use the
+     * benchmarks' stock shapes (the default 1-shard, 1-replica,
+     * unhedged TopologyShape); the topology extensions re-evaluate
+     * each row under sharded, replicated, and hedged clusters.
+     */
+    svc::TopologyShape topology;
 
     /** Human-readable row label. */
     std::string label() const;
@@ -61,6 +69,17 @@ std::vector<Scenario> tableIIIScenarios();
  * load point.
  */
 std::vector<Scenario> nonstationaryScenarios();
+
+/**
+ * Table III's rows crossed with representative service topologies
+ * (sharded fan-out, replication, hedged requests): every paper row
+ * re-stated for a scaled-out service. Fan-out raises the response
+ * time (the tier waits on the slowest shard), so wide topologies push
+ * rows toward the paper's "big response time" regime — but hedging
+ * pulls the tail back down, which is exactly when client-side
+ * measurement error becomes visible again.
+ */
+std::vector<Scenario> topologyScenarios();
 
 /**
  * Classify an arbitrary setup the way Table III would: services with

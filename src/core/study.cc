@@ -100,6 +100,31 @@ sweep(const std::vector<std::string> &configs,
 }
 
 StudyGrid
+sweepTopologies(const std::vector<std::string> &configs,
+                const std::vector<svc::TopologyShape> &shapes,
+                const TopologyConfigFactory &factory,
+                const RunnerOptions &opt,
+                const std::function<void(const StudyCell &)> &progress)
+{
+    StudyGrid grid;
+    std::vector<ExperimentConfig> cellCfgs;
+    for (const std::string &config : configs) {
+        for (const svc::TopologyShape &shape : shapes) {
+            ExperimentConfig cfg = factory(config, shape);
+            applyTopology(cfg, shape);
+            StudyCell cell;
+            cell.config = config + "/" + shape.label();
+            cell.qps = cfg.gen.qps;
+            grid.cells.push_back(std::move(cell));
+            cellCfgs.push_back(std::move(cfg));
+        }
+    }
+
+    runGridCells(grid, cellCfgs, opt, progress);
+    return grid;
+}
+
+StudyGrid
 sweepProfiles(const std::vector<std::string> &configs,
               const std::vector<loadgen::LoadProfileParams> &profiles,
               const ProfileConfigFactory &factory,

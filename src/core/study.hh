@@ -59,6 +59,28 @@ StudyGrid sweep(const std::vector<std::string> &configs,
                 const std::function<void(const StudyCell &)> &progress =
                     nullptr);
 
+/** Builds an ExperimentConfig for a (label, topology shape) pair. */
+using TopologyConfigFactory = std::function<ExperimentConfig(
+    const std::string &label, const svc::TopologyShape &shape)>;
+
+/**
+ * Run the grid of configurations x service topologies: the swept axis
+ * is the *shape of the service* (shard count, replica count, hedge
+ * delay) instead of a load point. Cells are labelled
+ * "<config>/<shape.label()>" (e.g. "HP/s8r2+h500us") and keep the
+ * base QPS the factory configured; applyTopology() lands the shape on
+ * the materialised config after the factory runs, and execution goes
+ * through the same flat task bag, so grids are bit-identical at any
+ * parallelism.
+ */
+StudyGrid
+sweepTopologies(const std::vector<std::string> &configs,
+                const std::vector<svc::TopologyShape> &shapes,
+                const TopologyConfigFactory &factory,
+                const RunnerOptions &opt,
+                const std::function<void(const StudyCell &)> &progress =
+                    nullptr);
+
 /** Builds an ExperimentConfig for a (label, load profile) pair. */
 using ProfileConfigFactory = std::function<ExperimentConfig(
     const std::string &label, const loadgen::LoadProfileParams &profile)>;

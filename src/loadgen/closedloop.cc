@@ -1,5 +1,7 @@
 #include "loadgen/closedloop.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace tpv {
@@ -19,6 +21,14 @@ ClosedLoopGenerator::ClosedLoopGenerator(Simulator &sim,
     if (params_.clientsPerThread <= 0)
         fatal("closed-loop needs at least one client per thread");
 
+    // Materialise a non-constant load profile up front, mirroring the
+    // open-loop generator: the Constant default takes no fork and
+    // leaves the RNG stream — and every stationary result — untouched.
+    if (params_.profile.kind != LoadProfileKind::Constant) {
+        profile_ = std::make_unique<LoadProfile>(
+            params_.profile, params_.windowEnd(), rng.fork());
+    }
+
     const auto total = static_cast<std::size_t>(params_.threads) *
                        static_cast<std::size_t>(params_.clientsPerThread);
     clients_.resize(total);
@@ -37,6 +47,7 @@ ClosedLoopGenerator::start()
     recorder_.setWindow(now + params_.warmup, now + params_.windowEnd());
     sendDeadline_ = now + params_.windowEnd();
     windowEnd_ = now + params_.windowEnd();
+    profileEpoch_ = now;
 
     for (auto &c : clients_) {
         if (params_.sendMode == SendMode::BusyWait)
@@ -45,13 +56,29 @@ ClosedLoopGenerator::start()
     }
 }
 
+Time
+ClosedLoopGenerator::drawThink(VClient &c) const
+{
+    Time think = c.rng.exponentialTime(
+        params_.thinkTime > 0 ? params_.thinkTime : 1);
+    if (profile_) {
+        // Reciprocal-multiplier stretch at the draw instant: a 3x
+        // crowd shrinks think gaps to a third, so the population's
+        // request rate tracks the profile when think time dominates.
+        const double m = std::max(
+            profile_->multiplierAt(sim_.now() - profileEpoch_), 1e-6);
+        think = std::max<Time>(
+            1, static_cast<Time>(static_cast<double>(think) / m));
+    }
+    return think;
+}
+
 void
 ClosedLoopGenerator::sendNext(VClient &c)
 {
     if (sim_.now() >= sendDeadline_)
         return;
-    const Time think = c.rng.exponentialTime(
-        params_.thinkTime > 0 ? params_.thinkTime : 1);
+    const Time think = drawThink(c);
     const Time when = sim_.now() + think;
     hw::HwThread &thr = client_.thread(c.threadIdx);
     const hw::HwConfig &cfg = client_.config();

@@ -9,9 +9,11 @@
 #define TPV_LOADGEN_CLOSEDLOOP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "hw/machine.hh"
+#include "loadgen/load_profile.hh"
 #include "loadgen/params.hh"
 #include "loadgen/recorder.hh"
 #include "net/link.hh"
@@ -62,15 +64,22 @@ class ClosedLoopGenerator : public net::Endpoint
     void sendNext(VClient &c);
     void issue(VClient &c);
 
+    /** Think-time draw for @p c, stretched by the load profile. */
+    Time drawThink(VClient &c) const;
+
     Simulator &sim_;
     hw::Machine &client_;
     net::Link &toServer_;
     net::Endpoint &server_;
     ClosedLoopParams params_;
     LatencyRecorder recorder_;
+    /** Materialised non-constant load profile (null for Constant). */
+    std::unique_ptr<LoadProfile> profile_;
     std::vector<VClient> clients_;
     Time sendDeadline_ = 0;
     Time windowEnd_ = 0;
+    /** Absolute time the profile's t = 0 maps to. */
+    Time profileEpoch_ = 0;
     std::uint64_t completed_ = 0;
 };
 

@@ -126,6 +126,16 @@ struct ClosedLoopParams
     Time parseWork = usec(1);
     std::uint32_t requestBytes = 100;
     RequestModel requestModel;
+    /**
+     * Offered-load schedule, mirroring OpenLoopParams::profile. A
+     * closed loop has no send schedule to thin, so the profile
+     * modulates *think time* instead: each think gap is divided by
+     * the multiplier at the instant it is drawn. When think time
+     * dominates the cycle (think >> service RTT), the completion
+     * rate tracks base * multiplier by Little's law. The default
+     * Constant profile reproduces the stationary loop bit-for-bit.
+     */
+    LoadProfileParams profile;
 
     Time windowEnd() const { return warmup + duration; }
 };

@@ -23,6 +23,17 @@ struct Message
 {
     /** Request id; the response echoes it. */
     std::uint64_t id = 0;
+    /**
+     * For a scatter-gather sub-request (and its reply): the id of the
+     * parent request it belongs to. Explicit correlation instead of
+     * packing the parent into the sub-request id, so fan-out width is
+     * unbounded.
+     */
+    std::uint64_t parentId = 0;
+    /** Shard index of a sub-request within its parent's fan-out. */
+    std::uint16_t shard = 0;
+    /** Replica chosen to serve (or hedge) the shard. */
+    std::uint16_t replica = 0;
     /** Connection the message belongs to (drives RSS / worker pinning). */
     std::uint32_t conn = 0;
     /** Wire size, for serialization delay. */
@@ -31,6 +42,12 @@ struct Message
     std::uint8_t kind = 0;
     /** True for server -> client traffic. */
     bool isResponse = false;
+    /**
+     * Nominal service work the server spent producing this response;
+     * lets an aggregator account the work of a discarded (hedged
+     * loser) reply as duplicate.
+     */
+    Time serviceWork = 0;
 
     /**
      * When the generator's application code issued the request —

@@ -1,5 +1,7 @@
 #include "svc/hdsearch.hh"
 
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace tpv {
@@ -10,124 +12,53 @@ HdSearchCluster::HdSearchCluster(Simulator &sim,
                                  net::Link &replyLink,
                                  net::Endpoint &client, Rng rng,
                                  HdSearchParams params)
-    : sim_(sim), params_(params), replyLink_(replyLink), client_(client),
-      rng_(rng),
-      midtier_(std::make_unique<hw::Machine>(sim, serverCfg, "hds-midtier",
-                                              rng_.u64())),
-      bucket_(std::make_unique<hw::Machine>(sim, serverCfg, "hds-bucket",
-                                            rng_.u64())),
-      midPool_(*midtier_, params.midtierWorkers),
-      bucketPool_(*bucket_, params.bucketWorkers),
-      toBucket_(sim, rng_.fork(), params.interLink),
-      toMidtier_(sim, rng_.fork(), params.interLink), bucketPort_(*this),
-      mergePort_(*this)
+    : params_(params),
+      graph_(sim, replyLink, client, rng, params.runVariability)
 {
-    TPV_ASSERT(params_.fanout >= 1 && params_.fanout <= 15,
-               "fanout must fit the sub-id encoding (1..15)");
-    if (params_.runVariability > 0)
-        envFactor_ = 1.0 + rng_.exponential(params_.runVariability);
-}
+    TPV_ASSERT(params_.fanout >= 1, "fanout needs at least one shard");
+    TPV_ASSERT(params_.replicas >= 1, "need at least one replica");
 
-std::uint64_t
-HdSearchCluster::subId(std::uint64_t parent, int shard) const
-{
-    return (parent << 4) | static_cast<std::uint64_t>(shard);
-}
+    hw::Machine &mid = graph_.addMachine(serverCfg, "hds-midtier");
 
-std::uint64_t
-HdSearchCluster::parentOf(std::uint64_t sub) const
-{
-    return sub >> 4;
-}
+    // The midtier's parse/merge/marshal costs are fixed protocol work;
+    // only the leaf scans carry the run's environment factor (as in
+    // the original hand-rolled cluster).
+    TierParams midP;
+    midP.name = "hds-midtier";
+    midP.workers = params_.midtierWorkers;
+    midP.work = fixedWork(params_.midPreWork);
+    midP.envSensitive = false;
+    midtier_ = &graph_.addTier(mid, std::move(midP));
 
-void
-HdSearchCluster::onMessage(const net::Message &req)
-{
-    ++stats_.requestsReceived;
-    midtier_->deliverIrq(midPool_.irqThreadIndex(req.conn),
-                         midtier_->config().irqWork,
-                         [this, req] { startQuery(req); });
-}
+    // One bucket machine per replica: a hedge to the backup replica
+    // lands on an independent server with independent queues.
+    TierParams bktP;
+    bktP.name = "hds-bucket";
+    bktP.workers = params_.bucketWorkers;
+    bktP.work = lognormalWork(params_.bucketMean, params_.bucketSd);
+    bktP.requestBytes = params_.subRequestBytes;
+    bktP.responseBytes = params_.subResponseBytes;
+    bucket_ = &graph_.addReplicatedTier(serverCfg, params_.replicas,
+                                        std::move(bktP));
 
-void
-HdSearchCluster::startQuery(const net::Message &req)
-{
-    stats_.serviceWorkDispatched += params_.midPreWork;
-    midPool_.serviceThread(req.conn).submit(params_.midPreWork, [this, req] {
-        pending_[req.id] = PendingQuery{req, params_.fanout};
-        for (int shard = 0; shard < params_.fanout; ++shard) {
-            net::Message sub;
-            sub.id = subId(req.id, shard);
-            // Spread shards across bucket workers; keep the parent's
-            // connection in the low bits so related shards differ.
-            sub.conn = req.conn * static_cast<std::uint32_t>(params_.fanout) +
-                       static_cast<std::uint32_t>(shard);
-            sub.bytes = params_.subRequestBytes;
-            sub.appSendTime = sim_.now();
-            toBucket_.send(sub, bucketPort_);
-        }
-    });
-}
-
-void
-HdSearchCluster::onBucketRequest(const net::Message &sub)
-{
-    bucket_->deliverIrq(
-        bucketPool_.irqThreadIndex(sub.conn), bucket_->config().irqWork,
-        [this, sub] {
-            const Time scan = static_cast<Time>(
-                envFactor_ *
-                rng_.lognormalMeanSd(
-                    static_cast<double>(params_.bucketMean),
-                    static_cast<double>(params_.bucketSd)));
-            stats_.serviceWorkDispatched += scan;
-            bucketPool_.serviceThread(sub.conn).submit(scan, [this, sub] {
-                net::Message reply = sub;
-                reply.isResponse = true;
-                reply.bytes = params_.subResponseBytes;
-                toMidtier_.send(reply, mergePort_);
-            });
+    FanoutParams f;
+    f.shards = params_.fanout;
+    f.replicas = params_.replicas;
+    f.hedgeDelay = params_.hedgeDelay;
+    f.mergeWork = params_.midMergeWork;
+    f.postWork = params_.midPostWork;
+    f.link = params_.interLink;
+    fanout_ = &graph_.addFanout(
+        *midtier_, *bucket_, f, [this](const net::Message &req) {
+            net::Message resp = req;
+            resp.isResponse = true;
+            resp.bytes = params_.responseBytes;
+            graph_.respond(std::move(resp));
         });
-}
 
-void
-HdSearchCluster::onShardReply(const net::Message &sub)
-{
-    const std::uint64_t parent = parentOf(sub.id);
-    auto it = pending_.find(parent);
-    TPV_ASSERT(it != pending_.end(), "shard reply for unknown query");
-    const net::Message req = it->second.request;
-
-    midtier_->deliverIrq(
-        midPool_.irqThreadIndex(req.conn), midtier_->config().irqWork,
-        [this, parent, req] {
-            stats_.serviceWorkDispatched += params_.midMergeWork;
-            midPool_.serviceThread(req.conn).submit(
-                params_.midMergeWork, [this, parent, req] {
-                    auto pit = pending_.find(parent);
-                    TPV_ASSERT(pit != pending_.end(),
-                               "merge for retired query");
-                    if (--pit->second.remaining > 0)
-                        return;
-                    pending_.erase(pit);
-                    finishQuery(req);
-                });
-        });
-}
-
-void
-HdSearchCluster::finishQuery(const net::Message &req)
-{
-    stats_.serviceWorkDispatched += params_.midPostWork;
-    midPool_.serviceThread(req.conn).submit(params_.midPostWork,
-                                            [this, req] {
-        net::Message resp = req;
-        resp.isResponse = true;
-        resp.bytes = params_.responseBytes;
-        resp.serverDoneTime = sim_.now();
-        ++stats_.responsesSent;
-        replyLink_.send(resp, client_);
-    });
+    midtier_->setHandler(
+        [this](const net::Message &req, Time) { fanout_->scatter(req); });
+    graph_.setEntry(*midtier_);
 }
 
 } // namespace svc

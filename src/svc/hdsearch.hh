@@ -8,22 +8,23 @@
  * hundreds-of-microseconds to millisecond range, ~10x-100x
  * Memcached's, which is what makes it insensitive to client-side
  * configuration (Figure 4).
+ *
+ * The cluster is wired on the svc/topology layer: a midtier Tier, a
+ * bucket Tier, and a Fanout between them, so shard count, replica
+ * count and hedged requests are all plain parameters.
  */
 
 #ifndef TPV_SVC_HDSEARCH_HH
 #define TPV_SVC_HDSEARCH_HH
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 
 #include "hw/machine.hh"
 #include "net/link.hh"
 #include "net/message.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
-#include "svc/service.hh"
-#include "svc/worker_pool.hh"
+#include "svc/topology.hh"
 
 namespace tpv {
 namespace svc {
@@ -35,8 +36,12 @@ struct HdSearchParams
     int midtierWorkers = 8;
     /** Bucket-server threads (the LSH shard scan pool). */
     int bucketWorkers = 8;
-    /** Shards each query fans out to. */
+    /** Shards each query fans out to (unbounded). */
     int fanout = 4;
+    /** Replicas backing each shard; hedges go to the next replica. */
+    int replicas = 1;
+    /** Hedge a shard's scan after this delay (0 = no hedging). */
+    Time hedgeDelay = 0;
     /** Midtier work before the fan-out (parse, LSH hash). */
     Time midPreWork = usec(40);
     /** Midtier work per returned shard result (merge). */
@@ -56,10 +61,10 @@ struct HdSearchParams
 };
 
 /**
- * The HDSearch cluster: owns the midtier and bucket machines and the
- * links between them; looks like a single Endpoint to the client.
- * Both machines share the server-side HwConfig, so the SMT / C1E
- * studies of Figure 4 toggle the knob on every tier.
+ * The HDSearch cluster: a ServiceGraph owning the midtier and bucket
+ * machines and the links between them; looks like a single Endpoint
+ * to the client. Both machines share the server-side HwConfig, so the
+ * SMT / C1E studies of Figure 4 toggle the knob on every tier.
  */
 class HdSearchCluster : public net::Endpoint
 {
@@ -73,71 +78,34 @@ class HdSearchCluster : public net::Endpoint
                     HdSearchParams params = {});
 
     /** Client request arrives at the midtier NIC. */
-    void onMessage(const net::Message &req) override;
+    void onMessage(const net::Message &req) override
+    {
+        graph_.onMessage(req);
+    }
 
-    const ServiceStats &stats() const { return stats_; }
+    const ServiceStats &stats() const { return graph_.stats(); }
     const HdSearchParams &params() const { return params_; }
 
-    hw::Machine &midtier() { return *midtier_; }
-    hw::Machine &bucket() { return *bucket_; }
+    hw::Machine &midtier() { return midtier_->machine(); }
+
+    /** Bucket machine of @p replica (one machine per replica). */
+    hw::Machine &bucket(int replica = 0)
+    {
+        return bucket_->machine(replica);
+    }
+
+    /** The scatter-gather edge (tests / diagnostics). */
+    const Fanout &fanout() const { return *fanout_; }
 
     /** This run's service-time environment factor. */
-    double envFactor() const { return envFactor_; }
+    double envFactor() const { return graph_.envFactor(); }
 
   private:
-    /** Endpoint adapter for messages arriving at the bucket tier. */
-    struct BucketPort : net::Endpoint
-    {
-        explicit BucketPort(HdSearchCluster &o) : owner(o) {}
-        void onMessage(const net::Message &m) override
-        {
-            owner.onBucketRequest(m);
-        }
-        HdSearchCluster &owner;
-    };
-
-    /** Endpoint adapter for shard replies arriving back at midtier. */
-    struct MergePort : net::Endpoint
-    {
-        explicit MergePort(HdSearchCluster &o) : owner(o) {}
-        void onMessage(const net::Message &m) override
-        {
-            owner.onShardReply(m);
-        }
-        HdSearchCluster &owner;
-    };
-
-    struct PendingQuery
-    {
-        net::Message request;
-        int remaining = 0;
-    };
-
-    void startQuery(const net::Message &req);
-    void onBucketRequest(const net::Message &sub);
-    void onShardReply(const net::Message &sub);
-    void finishQuery(const net::Message &req);
-
-    /** Sub-request ids embed the parent id. */
-    std::uint64_t subId(std::uint64_t parent, int shard) const;
-    std::uint64_t parentOf(std::uint64_t sub) const;
-
-    Simulator &sim_;
     HdSearchParams params_;
-    net::Link &replyLink_;
-    net::Endpoint &client_;
-    Rng rng_;
-    double envFactor_ = 1.0;
-    std::unique_ptr<hw::Machine> midtier_;
-    std::unique_ptr<hw::Machine> bucket_;
-    WorkerPool midPool_;
-    WorkerPool bucketPool_;
-    net::Link toBucket_;
-    net::Link toMidtier_;
-    BucketPort bucketPort_;
-    MergePort mergePort_;
-    std::unordered_map<std::uint64_t, PendingQuery> pending_;
-    ServiceStats stats_;
+    ServiceGraph graph_;
+    Tier *midtier_;
+    Tier *bucket_;
+    Fanout *fanout_;
 };
 
 } // namespace svc

@@ -7,42 +7,24 @@ SingleTierServer::SingleTierServer(Simulator &sim, hw::Machine &machine,
                                    net::Link &replyLink,
                                    net::Endpoint &client, int workers,
                                    Rng rng, double runVariability)
-    : sim_(sim), machine_(machine), replyLink_(replyLink), client_(client),
-      pool_(machine, workers), rng_(rng)
+    : sim_(sim), machine_(machine),
+      graph_(sim, replyLink, client, rng, runVariability)
 {
-    // Right-skewed residual environment state: most runs are clean,
-    // a few land on a slow environment. The skew is what makes the
-    // HP client's per-run averages fail Shapiro-Wilk (Figure 8/9)
-    // once queueing amplifies it.
-    if (runVariability > 0)
-        envFactor_ = 1.0 + rng_.exponential(runVariability);
-}
-
-void
-SingleTierServer::onMessage(const net::Message &req)
-{
-    ++stats_.requestsReceived;
-    // Receive path: IRQ/softirq work on the connection's IRQ thread,
-    // then hand off to the pinned worker.
-    machine_.deliverIrq(pool_.irqThreadIndex(req.conn),
-                        machine_.config().irqWork,
-                        [this, req] { serve(req); });
-}
-
-void
-SingleTierServer::serve(const net::Message &req)
-{
-    const Time work = static_cast<Time>(
-        envFactor_ * static_cast<double>(serviceWork(req, rng_)));
-    stats_.serviceWorkDispatched += work;
-    pool_.serviceThread(req.conn).submit(work + txWork_, [this, req] {
-        net::Message resp = req;
-        resp.isResponse = true;
-        resp.bytes = responseBytes(req, rng_);
-        resp.serverDoneTime = sim_.now();
-        ++stats_.responsesSent;
-        replyLink_.send(resp, client_);
-    });
+    TierParams p;
+    p.name = "server";
+    p.workers = workers;
+    // Virtual dispatch through `this` is safe: the lambdas only run
+    // once messages flow, well after the derived class is constructed.
+    p.work = [this](const net::Message &req, Rng &r) {
+        return serviceWork(req, r);
+    };
+    p.responseBytesFn = [this](const net::Message &req, Rng &r) {
+        return responseBytes(req, r);
+    };
+    // CPU cost of the transmit syscall path.
+    p.txWork = nsec(500);
+    tier_ = &graph_.addTier(machine, std::move(p));
+    graph_.setEntry(*tier_);
 }
 
 } // namespace svc

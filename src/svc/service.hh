@@ -1,7 +1,8 @@
 /**
  * @file
- * Common service-side types: stats and the single-tier server runtime
- * shared by Memcached and the synthetic workload.
+ * The single-tier server runtime shared by Memcached and the
+ * synthetic workload, expressed as a one-tier ServiceGraph.
+ * ServiceStats lives in svc/topology.hh and is re-exported here.
  */
 
 #ifndef TPV_SVC_SERVICE_HH
@@ -14,19 +15,11 @@
 #include "net/message.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "svc/topology.hh"
 #include "svc/worker_pool.hh"
 
 namespace tpv {
 namespace svc {
-
-/** Counters every service exposes. */
-struct ServiceStats
-{
-    std::uint64_t requestsReceived = 0;
-    std::uint64_t responsesSent = 0;
-    /** Total nominal service work dispatched (utilisation numerator). */
-    Time serviceWorkDispatched = 0;
-};
 
 /**
  * Single-tier request/response server: NIC IRQ -> worker queue ->
@@ -57,15 +50,18 @@ class SingleTierServer : public net::Endpoint
                      int workers, Rng rng, double runVariability = 0.0);
 
     /** This run's service-time environment factor. */
-    double envFactor() const { return envFactor_; }
+    double envFactor() const { return graph_.envFactor(); }
 
-    void onMessage(const net::Message &req) final;
+    void onMessage(const net::Message &req) final
+    {
+        graph_.onMessage(req);
+    }
 
     /** Service counters. */
-    const ServiceStats &stats() const { return stats_; }
+    const ServiceStats &stats() const { return graph_.stats(); }
 
     /** Worker pool (tests / diagnostics). */
-    WorkerPool &pool() { return pool_; }
+    WorkerPool &pool() { return tier_->pool(); }
 
   protected:
     /** Nominal CPU work to serve @p req. */
@@ -79,16 +75,8 @@ class SingleTierServer : public net::Endpoint
     hw::Machine &machine_;
 
   private:
-    void serve(const net::Message &req);
-
-    net::Link &replyLink_;
-    net::Endpoint &client_;
-    WorkerPool pool_;
-    Rng rng_;
-    double envFactor_ = 1.0;
-    ServiceStats stats_;
-    /** CPU cost of the transmit syscall path. */
-    Time txWork_ = nsec(500);
+    ServiceGraph graph_;
+    Tier *tier_;
 };
 
 } // namespace svc

@@ -1,5 +1,7 @@
 #include "svc/socialnet.hh"
 
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace tpv {
@@ -10,64 +12,35 @@ SocialNetworkApp::SocialNetworkApp(Simulator &sim,
                                    net::Link &replyLink,
                                    net::Endpoint &client, Rng rng,
                                    SocialNetworkParams params)
-    : sim_(sim), params_(std::move(params)), replyLink_(replyLink),
-      client_(client), rng_(rng),
-      machine_(std::make_unique<hw::Machine>(sim, serverCfg, "socialnet",
-                                              rng_.u64())),
-      loopback_(sim, rng_.fork(), params_.loopback)
+    : params_(std::move(params)),
+      graph_(sim, replyLink, client, rng, params_.runVariability)
 {
     TPV_ASSERT(!params_.stages.empty(), "Social Network needs stages");
-    if (params_.runVariability > 0)
-        envFactor_ = 1.0 + rng_.exponential(params_.runVariability);
+
+    hw::Machine &machine = graph_.addMachine(serverCfg, "socialnet");
     for (const SocialStage &s : params_.stages) {
-        pools_.push_back(std::make_unique<WorkerPool>(*machine_, s.workers,
-                                                      s.firstCore));
+        TierParams t;
+        t.name = s.name;
+        t.workers = s.workers;
+        t.firstCore = s.firstCore;
+        t.work = lognormalWork(s.workMean, s.workSd);
+        t.responseBytes = params_.responseBytes;
+        stages_.push_back(&graph_.addTier(machine, std::move(t)));
     }
-}
+    loopback_ = &graph_.addLink(params_.loopback);
 
-void
-SocialNetworkApp::onMessage(const net::Message &msg)
-{
-    const auto stage = static_cast<std::size_t>(msg.kind);
-    TPV_ASSERT(stage < params_.stages.size(), "bad stage index");
-    if (stage == 0)
-        ++stats_.requestsReceived;
-    runStage(msg, stage);
-}
-
-void
-SocialNetworkApp::runStage(const net::Message &msg, std::size_t stage)
-{
-    WorkerPool &pool = *pools_[stage];
-    machine_->deliverIrq(
-        pool.irqThreadIndex(msg.conn), machine_->config().irqWork,
-        [this, msg, stage] {
-            const SocialStage &spec = params_.stages[stage];
-            const Time work = static_cast<Time>(
-                envFactor_ *
-                rng_.lognormalMeanSd(static_cast<double>(spec.workMean),
-                                     static_cast<double>(spec.workSd)));
-            stats_.serviceWorkDispatched += work;
-            pools_[stage]->serviceThread(msg.conn).submit(
-                work, [this, msg, stage] { advance(msg, stage); });
-        });
-}
-
-void
-SocialNetworkApp::advance(net::Message msg, std::size_t stage)
-{
-    if (stage + 1 < params_.stages.size()) {
-        msg.kind = static_cast<std::uint8_t>(stage + 1);
-        msg.bytes = params_.interBytes;
-        loopback_.send(msg, *this);
-        return;
+    // Chain the stages over the loopback link; the last stage keeps
+    // the default handler and replies to the client via the graph.
+    for (std::size_t i = 0; i + 1 < stages_.size(); ++i) {
+        Tier *next = stages_[i + 1];
+        stages_[i]->setHandler(
+            [this, next](const net::Message &msg, Time) {
+                net::Message hop = msg;
+                hop.bytes = params_.interBytes;
+                loopback_->send(hop, *next);
+            });
     }
-    msg.kind = 0;
-    msg.isResponse = true;
-    msg.bytes = params_.responseBytes;
-    msg.serverDoneTime = sim_.now();
-    ++stats_.responsesSent;
-    replyLink_.send(msg, client_);
+    graph_.setEntry(*stages_.front());
 }
 
 } // namespace svc

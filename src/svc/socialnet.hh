@@ -7,12 +7,15 @@
  * post-storage reads) on shared core pools, giving the 2-20 ms
  * end-to-end latencies of Figure 6 — far above any client-side
  * hardware overhead.
+ *
+ * Each stage is a Tier of one shared-machine ServiceGraph; stage hops
+ * travel the Docker bridge/loopback link directly to the next tier's
+ * endpoint, so no stage index has to ride in the message.
  */
 
 #ifndef TPV_SVC_SOCIALNET_HH
 #define TPV_SVC_SOCIALNET_HH
 
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,8 +24,7 @@
 #include "net/message.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
-#include "svc/service.hh"
-#include "svc/worker_pool.hh"
+#include "svc/topology.hh"
 
 namespace tpv {
 namespace svc {
@@ -64,8 +66,8 @@ struct SocialNetworkParams
 };
 
 /**
- * The single-node Social Network deployment. Owns the server machine;
- * Message::kind carries the stage index as a request hops through the
+ * The single-node Social Network deployment: a chain of tiers
+ * partitioning one machine's cores, wired stage-to-stage over the
  * loopback link.
  */
 class SocialNetworkApp : public net::Endpoint
@@ -76,26 +78,20 @@ class SocialNetworkApp : public net::Endpoint
                      SocialNetworkParams params = {});
 
     /** Client request enters at the frontend (stage 0). */
-    void onMessage(const net::Message &msg) override;
+    void onMessage(const net::Message &msg) override
+    {
+        graph_.onMessage(msg);
+    }
 
-    const ServiceStats &stats() const { return stats_; }
+    const ServiceStats &stats() const { return graph_.stats(); }
     const SocialNetworkParams &params() const { return params_; }
-    hw::Machine &machine() { return *machine_; }
+    hw::Machine &machine() { return stages_.front()->machine(); }
 
   private:
-    void runStage(const net::Message &msg, std::size_t stage);
-    void advance(net::Message msg, std::size_t stage);
-
-    Simulator &sim_;
     SocialNetworkParams params_;
-    net::Link &replyLink_;
-    net::Endpoint &client_;
-    Rng rng_;
-    double envFactor_ = 1.0;
-    std::unique_ptr<hw::Machine> machine_;
-    std::vector<std::unique_ptr<WorkerPool>> pools_;
-    net::Link loopback_;
-    ServiceStats stats_;
+    ServiceGraph graph_;
+    std::vector<Tier *> stages_;
+    net::Link *loopback_;
 };
 
 } // namespace svc

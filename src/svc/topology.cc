@@ -1,0 +1,390 @@
+#include "svc/topology.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace svc {
+
+namespace {
+
+/** Generic endpoint adapter: forwards delivered messages to a bound
+ *  function. Replaces the per-service Port/Merge adapter structs. */
+class PortEndpoint : public net::Endpoint
+{
+  public:
+    using Fn = std::function<void(const net::Message &)>;
+
+    explicit PortEndpoint(Fn fn) : fn_(std::move(fn)) {}
+
+    void
+    onMessage(const net::Message &m) override
+    {
+        fn_(m);
+    }
+
+  private:
+    Fn fn_;
+};
+
+} // namespace
+
+std::string
+TopologyShape::label() const
+{
+    std::string out = "s";
+    out += std::to_string(shards);
+    if (replicas > 1) {
+        out += 'r';
+        out += std::to_string(replicas);
+    }
+    if (hedgeDelay > 0) {
+        out += "+h";
+        out += std::to_string(static_cast<long long>(toUsec(hedgeDelay)));
+        out += "us";
+    }
+    return out;
+}
+
+TierWork
+fixedWork(Time work)
+{
+    return [work](const net::Message &, Rng &) { return work; };
+}
+
+TierWork
+lognormalWork(Time mean, Time sd)
+{
+    return [mean, sd](const net::Message &, Rng &rng) {
+        return static_cast<Time>(rng.lognormalMeanSd(
+            static_cast<double>(mean), static_cast<double>(sd)));
+    };
+}
+
+Tier::Tier(ServiceGraph &graph, std::vector<hw::Machine *> hosts,
+           TierParams params)
+    : graph_(graph), params_(std::move(params))
+{
+    TPV_ASSERT(!hosts.empty(), "tier '", params_.name, "' needs a host");
+    TPV_ASSERT(static_cast<bool>(params_.work),
+               "tier '", params_.name, "' needs a work model");
+    for (hw::Machine *m : hosts) {
+        instances_.push_back(std::make_unique<Instance>(Instance{
+            m, WorkerPool(*m, params_.workers, params_.firstCore)}));
+    }
+}
+
+Tier::Tier(ServiceGraph &graph, hw::Machine &machine, TierParams params)
+    : Tier(graph, std::vector<hw::Machine *>{&machine}, std::move(params))
+{
+}
+
+WorkerPool &
+Tier::pool(int replica)
+{
+    return instances_.at(static_cast<std::size_t>(replica))->pool;
+}
+
+hw::Machine &
+Tier::machine(int replica)
+{
+    return *instances_.at(static_cast<std::size_t>(replica))->machine;
+}
+
+Tier::Instance &
+Tier::instanceFor(const net::Message &msg)
+{
+    // Clamp so a fan-out with more replicas than instances still
+    // routes (colocated replicas share the last instance's queues).
+    const auto idx = std::min<std::size_t>(msg.replica,
+                                           instances_.size() - 1);
+    return *instances_[idx];
+}
+
+void
+Tier::onMessage(const net::Message &msg)
+{
+    // Receive path: IRQ/softirq work on the connection's IRQ thread
+    // (sibling hardware thread when SMT is on), then hand off to the
+    // pinned worker.
+    Instance &inst = instanceFor(msg);
+    inst.machine->deliverIrq(inst.pool.irqThreadIndex(msg.conn),
+                             inst.machine->config().irqWork,
+                             [this, msg] { dispatch(msg); });
+}
+
+void
+Tier::dispatch(const net::Message &msg)
+{
+    Time work = params_.work(msg, graph_.rng());
+    if (params_.envSensitive) {
+        work = static_cast<Time>(graph_.envFactor() *
+                                 static_cast<double>(work));
+    }
+    graph_.mutableStats().serviceWorkDispatched += work;
+    instanceFor(msg).pool.serviceThread(msg.conn).submit(
+        work + params_.txWork, [this, msg, work] {
+            if (handler_)
+                handler_(msg, work);
+            else
+                graph_.respond(makeReply(msg, work));
+        });
+}
+
+net::Message
+Tier::makeReply(const net::Message &msg, Time work)
+{
+    net::Message resp = msg;
+    resp.isResponse = true;
+    resp.bytes = params_.responseBytesFn
+                     ? params_.responseBytesFn(msg, graph_.rng())
+                     : params_.responseBytes;
+    resp.serviceWork = work;
+    return resp;
+}
+
+Fanout::Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
+               FanoutParams params, Complete onComplete)
+    : graph_(graph), parent_(parent), child_(child),
+      params_(std::move(params)), onComplete_(std::move(onComplete)),
+      toChild_(graph.addLink(params_.link)),
+      toParent_(graph.addLink(params_.link)),
+      mergePort_(std::make_unique<PortEndpoint>(
+          [this](const net::Message &m) { onReply(m); }))
+{
+    TPV_ASSERT(params_.shards >= 1, "fanout needs at least one shard");
+    TPV_ASSERT(params_.replicas >= 1, "fanout needs at least one replica");
+    // A hedge to the only replica would share the primary's worker
+    // queue and could never win — reject the degenerate shape instead
+    // of reporting meaningless hedge counters.
+    TPV_ASSERT(params_.hedgeDelay == 0 || params_.replicas >= 2,
+               "hedging needs a backup replica (replicas >= 2)");
+    TPV_ASSERT(static_cast<bool>(onComplete_),
+               "fanout needs a completion callback");
+    // Child replies route through this fan-out's merge port.
+    child_.setHandler([this](const net::Message &msg, Time work) {
+        toParent_.send(child_.makeReply(msg, work), *mergePort_);
+    });
+}
+
+int
+Fanout::primaryReplica(std::uint64_t id, int shard, int replicas)
+{
+    if (replicas <= 1)
+        return 0;
+    // Deterministic and balanced: successive requests rotate which
+    // replica serves a given shard (SplitMix64-style mix so shard and
+    // id perturb independently).
+    std::uint64_t h = id + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(shard) + 1);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    return static_cast<int>(h % static_cast<std::uint64_t>(replicas));
+}
+
+int
+Fanout::hedgeReplica(std::uint64_t id, int shard, int replicas)
+{
+    return (primaryReplica(id, shard, replicas) + 1) % std::max(replicas, 1);
+}
+
+net::Message
+Fanout::makeSub(const net::Message &req, int shard, int replica) const
+{
+    net::Message sub;
+    sub.id = req.id;
+    sub.parentId = req.id;
+    sub.shard = static_cast<std::uint16_t>(shard);
+    // The replica field routes the sub-request to its tier instance;
+    // within an instance the connection spreads shards across workers
+    // (parent connection in the high bits so related shards differ).
+    sub.replica = static_cast<std::uint16_t>(replica);
+    sub.conn = req.conn * static_cast<std::uint32_t>(params_.shards) +
+               static_cast<std::uint32_t>(shard);
+    sub.bytes = child_.params().requestBytes;
+    sub.appSendTime = graph_.sim().now();
+    return sub;
+}
+
+void
+Fanout::scatter(const net::Message &req)
+{
+    auto [it, inserted] = pending_.emplace(req.id, RpcContext{});
+    TPV_ASSERT(inserted, "parent id already has an in-flight fan-out");
+    RpcContext &call = it->second;
+    call.request = req;
+    call.remaining = params_.shards;
+    call.done.assign(static_cast<std::size_t>(params_.shards), false);
+    // Timer slots only exist when hedging can arm them, keeping the
+    // unhedged hot path free of the extra per-query allocation.
+    if (params_.hedgeDelay > 0)
+        call.hedges.resize(static_cast<std::size_t>(params_.shards));
+
+    graph_.mutableStats().subRequestsSent +=
+        static_cast<std::uint64_t>(params_.shards);
+    for (int shard = 0; shard < params_.shards; ++shard) {
+        toChild_.send(makeSub(req, shard,
+                              primaryReplica(req.id, shard,
+                                             params_.replicas)),
+                      child_);
+        if (params_.hedgeDelay > 0) {
+            call.hedges[static_cast<std::size_t>(shard)] =
+                graph_.sim().schedule(
+                    params_.hedgeDelay, [this, id = req.id, shard] {
+                        fireHedge(id, shard);
+                    });
+        }
+    }
+}
+
+void
+Fanout::fireHedge(std::uint64_t parentId, int shard)
+{
+    auto it = pending_.find(parentId);
+    if (it == pending_.end() ||
+        it->second.done[static_cast<std::size_t>(shard)])
+        return; // the shard answered between arming and firing
+    ++graph_.mutableStats().hedgesSent;
+    toChild_.send(makeSub(it->second.request, shard,
+                          hedgeReplica(parentId, shard,
+                                       params_.replicas)),
+                  child_);
+}
+
+void
+Fanout::onReply(const net::Message &reply)
+{
+    auto it = pending_.find(reply.parentId);
+    const auto shard = static_cast<std::size_t>(reply.shard);
+    if (it == pending_.end() || it->second.done[shard]) {
+        // A hedged loser: another replica already answered this shard
+        // (or the whole call retired). Account the wasted work.
+        TPV_ASSERT(params_.hedgeDelay > 0,
+                   "shard reply for unknown call without hedging");
+        ++graph_.mutableStats().duplicatesDiscarded;
+        graph_.mutableStats().duplicateWorkDispatched +=
+            reply.serviceWork;
+        return;
+    }
+    RpcContext &call = it->second;
+    call.done[shard] = true;
+    if (params_.hedgeDelay > 0 && graph_.sim().cancel(call.hedges[shard]))
+        ++graph_.mutableStats().hedgesCancelled;
+
+    // Merge on the parent pool, keyed by the parent's connection.
+    const net::Message req = call.request;
+    const std::uint64_t id = reply.parentId;
+    parent_.machine().deliverIrq(
+        parent_.pool().irqThreadIndex(req.conn),
+        parent_.machine().config().irqWork, [this, id, req] {
+            graph_.mutableStats().serviceWorkDispatched +=
+                params_.mergeWork;
+            parent_.pool().serviceThread(req.conn).submit(
+                params_.mergeWork, [this, id, req] {
+                    auto pit = pending_.find(id);
+                    TPV_ASSERT(pit != pending_.end(),
+                               "merge for retired call");
+                    if (--pit->second.remaining > 0)
+                        return;
+                    pending_.erase(pit);
+                    finish(req);
+                });
+        });
+}
+
+void
+Fanout::finish(const net::Message &req)
+{
+    graph_.mutableStats().serviceWorkDispatched += params_.postWork;
+    parent_.pool().serviceThread(req.conn).submit(
+        params_.postWork, [this, req] { onComplete_(req); });
+}
+
+ServiceGraph::ServiceGraph(Simulator &sim, net::Link &replyLink,
+                           net::Endpoint &client, Rng rng,
+                           double runVariability)
+    : sim_(sim), replyLink_(replyLink), client_(client), rng_(rng)
+{
+    // Right-skewed residual environment state: most runs are clean, a
+    // few land on a slow environment. The skew is what makes the HP
+    // client's per-run averages fail Shapiro-Wilk (Figure 8/9) once
+    // queueing amplifies it.
+    if (runVariability > 0)
+        envFactor_ = 1.0 + rng_.exponential(runVariability);
+}
+
+hw::Machine &
+ServiceGraph::addMachine(const hw::HwConfig &cfg, const std::string &name)
+{
+    machines_.push_back(
+        std::make_unique<hw::Machine>(sim_, cfg, name, rng_.u64()));
+    return *machines_.back();
+}
+
+Tier &
+ServiceGraph::addTier(hw::Machine &machine, TierParams params)
+{
+    tiers_.push_back(
+        std::make_unique<Tier>(*this, machine, std::move(params)));
+    return *tiers_.back();
+}
+
+Tier &
+ServiceGraph::addReplicatedTier(const hw::HwConfig &cfg, int replicas,
+                                TierParams params)
+{
+    TPV_ASSERT(replicas >= 1, "tier '", params.name,
+               "' needs at least one replica");
+    std::vector<hw::Machine *> hosts;
+    for (int r = 0; r < replicas; ++r) {
+        std::string name = params.name;
+        if (r > 0) {
+            name += "-r";
+            name += std::to_string(r + 1);
+        }
+        hosts.push_back(&addMachine(cfg, name));
+    }
+    tiers_.push_back(
+        std::make_unique<Tier>(*this, std::move(hosts),
+                               std::move(params)));
+    return *tiers_.back();
+}
+
+net::Link &
+ServiceGraph::addLink(net::Link::Params params)
+{
+    links_.push_back(
+        std::make_unique<net::Link>(sim_, rng_.fork(), params));
+    return *links_.back();
+}
+
+Fanout &
+ServiceGraph::addFanout(Tier &parent, Tier &child, FanoutParams params,
+                        Fanout::Complete onComplete)
+{
+    fanouts_.push_back(std::make_unique<Fanout>(
+        *this, parent, child, std::move(params), std::move(onComplete)));
+    return *fanouts_.back();
+}
+
+void
+ServiceGraph::onMessage(const net::Message &req)
+{
+    TPV_ASSERT(entry_ != nullptr, "service graph has no entry tier");
+    ++stats_.requestsReceived;
+    entry_->onMessage(req);
+}
+
+void
+ServiceGraph::respond(net::Message resp)
+{
+    resp.serverDoneTime = sim_.now();
+    ++stats_.responsesSent;
+    replyLink_.send(resp, client_);
+}
+
+} // namespace svc
+} // namespace tpv

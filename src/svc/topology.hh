@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Composable service-topology layer: declarative cluster wiring for
+ * every service model.
+ *
+ * The paper evaluates its risk taxonomy on three hand-rolled cluster
+ * shapes (a single-tier server, the HDSearch midtier/bucket pair, the
+ * Social Network chain). This subsystem factors the wiring those
+ * shapes share into three pieces:
+ *
+ *  - Tier: a worker pool plus a per-request work model on a host
+ *    machine (NIC IRQ -> pinned worker -> service work -> handler);
+ *  - ServiceGraph: owns the machines, tiers, fan-outs and intra-
+ *    cluster links of one service, looks like a single net::Endpoint
+ *    to the client, and keeps the service-wide counters;
+ *  - Fanout: scatter-gather RPC from a parent tier to a sharded child
+ *    tier, with optional replication and cancellable hedged requests.
+ *
+ * Hedging follows the tail-at-scale playbook: if a shard's reply has
+ * not arrived hedgeDelay after the scatter, a duplicate sub-request
+ * goes to the next replica; the first reply per shard wins and the
+ * loser's reply is discarded deterministically (simulated time is a
+ * single timeline per run, so serial and parallel study execution see
+ * bit-identical outcomes). The duplicate work is accounted in
+ * ServiceStats so over-provisioning studies can price hedging.
+ */
+
+#ifndef TPV_SVC_TOPOLOGY_HH
+#define TPV_SVC_TOPOLOGY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "net/link.hh"
+#include "net/message.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "svc/worker_pool.hh"
+
+namespace tpv {
+namespace svc {
+
+/** Counters every service exposes. */
+struct ServiceStats
+{
+    std::uint64_t requestsReceived = 0;
+    std::uint64_t responsesSent = 0;
+    /** Total nominal service work dispatched (utilisation numerator). */
+    Time serviceWorkDispatched = 0;
+    /** Scatter-gather sub-requests sent to child tiers (primaries). */
+    std::uint64_t subRequestsSent = 0;
+    /** Hedge duplicates actually sent (the shard was still pending). */
+    std::uint64_t hedgesSent = 0;
+    /** Hedge timers cancelled because the primary replied in time. */
+    std::uint64_t hedgesCancelled = 0;
+    /** Shard replies discarded because another replica won the race. */
+    std::uint64_t duplicatesDiscarded = 0;
+    /** Service work spent on discarded replies (the price of hedging). */
+    Time duplicateWorkDispatched = 0;
+};
+
+/**
+ * The topology knobs every study can sweep: how wide a fan-out
+ * shards, how many replicas back each shard, and whether slow shards
+ * are hedged. The default shape (1 shard, 1 replica, no hedging)
+ * leaves a service's behaviour unchanged.
+ */
+struct TopologyShape
+{
+    /** Shards a fan-out scatters to. */
+    int shards = 1;
+    /** Replicas backing each shard (hedges go to the next replica). */
+    int replicas = 1;
+    /** Hedge a shard after this delay; 0 disables hedging. */
+    Time hedgeDelay = 0;
+
+    /** "s8", "s8r2", "s8r2+h300us" style tag for study cells. */
+    std::string label() const;
+};
+
+/** Per-request nominal CPU work of a tier. */
+using TierWork = std::function<Time(const net::Message &, Rng &)>;
+
+/** Per-request response wire size of a tier. */
+using TierBytes = std::function<std::uint32_t(const net::Message &, Rng &)>;
+
+/** Work model: every request costs exactly @p work. */
+TierWork fixedWork(Time work);
+
+/** Work model: lognormal with the given mean / sd (sd 0 = fixed). */
+TierWork lognormalWork(Time mean, Time sd);
+
+/** Tunables of one tier. */
+struct TierParams
+{
+    std::string name = "tier";
+    /** Worker threads, pinned one per core from firstCore. */
+    int workers = 8;
+    /** First core of the pool (tiers sharing a machine partition it). */
+    int firstCore = 0;
+    /** Nominal CPU work per request (required). */
+    TierWork work;
+    /** Wire size of sub-requests sent *to* this tier by a Fanout. */
+    std::uint32_t requestBytes = 0;
+    /** Reply wire size when responseBytesFn is not set. */
+    std::uint32_t responseBytes = 0;
+    /** Per-request reply size override (e.g. sampled value bytes). */
+    TierBytes responseBytesFn;
+    /** CPU cost of the transmit syscall path, added to the work. */
+    Time txWork = 0;
+    /**
+     * Whether the graph's per-run environment factor multiplies this
+     * tier's work draws (the seed services scale leaf scans and stage
+     * work, but not the HDSearch midtier's fixed parse/merge costs).
+     */
+    bool envSensitive = true;
+};
+
+class ServiceGraph;
+
+/**
+ * One tier of a service: a work model over one or more replica
+ * instances, each a (machine, worker pool) pair. Message::replica
+ * routes a request to its instance, so a replicated tier models what
+ * replication means in a real cluster — independent servers with
+ * independent queues — and a hedge sent to the backup replica does
+ * not wait behind the primary's backlog.
+ *
+ * A request's path is the canonical server receive path — NIC IRQ
+ * (sibling hardware thread under SMT) -> FIFO queue on the
+ * connection's pinned worker -> service work -> handler. The default
+ * handler replies to the service's client through the graph; fan-outs
+ * and chains install their own.
+ */
+class Tier : public net::Endpoint
+{
+  public:
+    /** Runs on the worker once a request's service work completes. */
+    using Handler = std::function<void(const net::Message &msg, Time work)>;
+
+    /** Replicated tier: one instance per host, routed by replica. */
+    Tier(ServiceGraph &graph, std::vector<hw::Machine *> hosts,
+         TierParams params);
+
+    /** Single-instance tier on @p machine. */
+    Tier(ServiceGraph &graph, hw::Machine &machine, TierParams params);
+
+    /** Replace the completion handler (fan-out scatter, chain hop). */
+    void setHandler(Handler handler) { handler_ = std::move(handler); }
+
+    void onMessage(const net::Message &msg) override;
+
+    /**
+     * Reply this tier would send for @p msg: echoes the request with
+     * isResponse set, the tier's response size, and the work spent.
+     */
+    net::Message makeReply(const net::Message &msg, Time work);
+
+    /** Replica instances backing this tier. */
+    int replicaCount() const
+    {
+        return static_cast<int>(instances_.size());
+    }
+
+    WorkerPool &pool(int replica = 0);
+    hw::Machine &machine(int replica = 0);
+    const TierParams &params() const { return params_; }
+
+  private:
+    struct Instance
+    {
+        hw::Machine *machine;
+        WorkerPool pool;
+    };
+
+    /** The instance serving @p msg (replica clamped to the count). */
+    Instance &instanceFor(const net::Message &msg);
+
+    /** Post-IRQ: draw the work and queue it on the pinned worker. */
+    void dispatch(const net::Message &msg);
+
+    ServiceGraph &graph_;
+    TierParams params_;
+    std::vector<std::unique_ptr<Instance>> instances_;
+    Handler handler_;
+};
+
+/** Tunables of one scatter-gather fan-out edge. */
+struct FanoutParams
+{
+    /** Shards every request scatters to. */
+    int shards = 1;
+    /** Replicas per shard; the primary is picked per (id, shard). */
+    int replicas = 1;
+    /** Hedge a shard's sub-request after this delay (0 = off). */
+    Time hedgeDelay = 0;
+    /** Parent-tier work per accepted shard reply (merge). */
+    Time mergeWork = 0;
+    /** Parent-tier work after the last shard reply (top-k, marshal). */
+    Time postWork = 0;
+    /** Link parameters of the parent <-> child hops. */
+    net::Link::Params link{};
+};
+
+/**
+ * Scatter-gather RPC edge between a parent and a sharded child tier.
+ * scatter() sends one sub-request per shard to its primary replica
+ * and arms a hedge timer per shard when hedging is enabled; replies
+ * merge on the parent's worker pool, and the parent completion
+ * callback fires after the last shard's post-work.
+ */
+class Fanout
+{
+  public:
+    /** Fired on the parent worker after the last reply's post-work. */
+    using Complete = std::function<void(const net::Message &parent)>;
+
+    Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
+           FanoutParams params, Complete onComplete);
+
+    /**
+     * Scatter sub-requests for @p req. Call from the parent tier's
+     * worker (i.e. a Tier handler); @p req.id must be unique among
+     * the parent's in-flight requests.
+     */
+    void scatter(const net::Message &req);
+
+    /** Deterministic primary replica for a (request, shard) pair. */
+    static int primaryReplica(std::uint64_t id, int shard, int replicas);
+
+    /** The replica a hedge of (request, shard) is sent to. */
+    static int hedgeReplica(std::uint64_t id, int shard, int replicas);
+
+    /** Parents with outstanding shard replies (diagnostics). */
+    std::size_t inFlight() const { return pending_.size(); }
+
+    const FanoutParams &params() const { return params_; }
+
+  private:
+    struct RpcContext
+    {
+        net::Message request;
+        /** Shards whose merge has not completed yet. */
+        int remaining = 0;
+        /** Per shard: first reply accepted (later ones are losers). */
+        std::vector<bool> done;
+        /** Per shard: armed hedge timer. */
+        std::vector<EventHandle> hedges;
+    };
+
+    net::Message makeSub(const net::Message &req, int shard,
+                         int replica) const;
+    void fireHedge(std::uint64_t parentId, int shard);
+    void onReply(const net::Message &reply);
+    void finish(const net::Message &req);
+
+    ServiceGraph &graph_;
+    Tier &parent_;
+    Tier &child_;
+    FanoutParams params_;
+    Complete onComplete_;
+    net::Link &toChild_;
+    net::Link &toParent_;
+    /** Adapter delivering child replies back into onReply(). */
+    std::unique_ptr<net::Endpoint> mergePort_;
+    std::unordered_map<std::uint64_t, RpcContext> pending_;
+};
+
+/**
+ * The cluster of one service: owns its machines, tiers, fan-outs and
+ * intra-cluster links, fronts the whole thing as a single Endpoint,
+ * and keeps the ServiceStats. Construction order is deterministic, so
+ * a graph's behaviour is fixed by the run seed.
+ */
+class ServiceGraph : public net::Endpoint
+{
+  public:
+    /**
+     * @param replyLink link carrying final responses to the client.
+     * @param runVariability relative sd of the per-run environment
+     *        factor multiplying env-sensitive tier work.
+     */
+    ServiceGraph(Simulator &sim, net::Link &replyLink,
+                 net::Endpoint &client, Rng rng,
+                 double runVariability = 0.0);
+
+    /** Add a machine owned by the graph (seeded from the graph rng). */
+    hw::Machine &addMachine(const hw::HwConfig &cfg,
+                            const std::string &name);
+
+    /** Add a tier hosted on @p machine (owned or external). */
+    Tier &addTier(hw::Machine &machine, TierParams params);
+
+    /**
+     * Add a replicated tier: @p replicas graph-owned machines (named
+     * "<name>", "<name>-r2", ...) each running the tier's pool.
+     */
+    Tier &addReplicatedTier(const hw::HwConfig &cfg, int replicas,
+                            TierParams params);
+
+    /** Add an intra-cluster link owned by the graph. */
+    net::Link &addLink(net::Link::Params params);
+
+    /** Add a scatter-gather edge from @p parent to @p child. */
+    Fanout &addFanout(Tier &parent, Tier &child, FanoutParams params,
+                      Fanout::Complete onComplete);
+
+    /** Tier client requests enter at (counts requestsReceived). */
+    void setEntry(Tier &tier) { entry_ = &tier; }
+
+    /** Front door: client request arrives at the service. */
+    void onMessage(const net::Message &req) override;
+
+    /** Send @p resp to the client (stamps serverDoneTime, counts). */
+    void respond(net::Message resp);
+
+    /** This run's service-time environment factor. */
+    double envFactor() const { return envFactor_; }
+
+    const ServiceStats &stats() const { return stats_; }
+    ServiceStats &mutableStats() { return stats_; }
+    Simulator &sim() { return sim_; }
+    Rng &rng() { return rng_; }
+
+  private:
+    Simulator &sim_;
+    net::Link &replyLink_;
+    net::Endpoint &client_;
+    Rng rng_;
+    double envFactor_ = 1.0;
+    Tier *entry_ = nullptr;
+    std::vector<std::unique_ptr<hw::Machine>> machines_;
+    std::vector<std::unique_ptr<Tier>> tiers_;
+    std::vector<std::unique_ptr<net::Link>> links_;
+    std::vector<std::unique_ptr<Fanout>> fanouts_;
+    ServiceStats stats_;
+};
+
+} // namespace svc
+} // namespace tpv
+
+#endif // TPV_SVC_TOPOLOGY_HH

@@ -137,6 +137,75 @@ TEST(ClosedLoop, LpClientSlowsTheWholeLoop)
               hp.gen.recorder().latencySummary().mean);
 }
 
+TEST(ClosedLoop, ProfileModulatesOfferedRate)
+{
+    // Flash crowd at 3x over [200ms, 400ms): with think time (1ms)
+    // dominating the ~60us service RTT, the completion cycle shrinks
+    // to roughly a third during the crowd, so the arrival rate at the
+    // server should track the profile.
+    ClosedLoopParams p = baseParams();
+    p.thinkTime = msec(1);
+    p.warmup = 0;
+    p.duration = msec(600);
+    p.profile = LoadProfileParams::flashCrowd(3.0, msec(200), msec(400));
+
+    struct BucketServer : DelayServer
+    {
+        std::vector<int> buckets = std::vector<int>(12, 0);
+
+        void
+        onMessage(const net::Message &req) override
+        {
+            const auto b = static_cast<std::size_t>(
+                sim->now() / msec(50));
+            if (b < buckets.size())
+                ++buckets[b];
+            DelayServer::onMessage(req);
+        }
+    };
+
+    Simulator sim;
+    hw::Machine client(sim, hw::HwConfig::clientHP());
+    net::Link up(sim, Rng(1), net::Link::Params{usec(5), 0.0, 10.0});
+    net::Link down(sim, Rng(2), net::Link::Params{usec(5), 0.0, 10.0});
+    BucketServer server;
+    ClosedLoopGenerator gen(sim, client, up, server, p, Rng(5));
+    server.sim = &sim;
+    server.reply = &down;
+    server.client = &gen;
+    gen.start();
+    sim.runUntil(gen.windowEnd() + msec(10));
+
+    double inCrowd = 0, outside = 0;
+    for (std::size_t b = 0; b < server.buckets.size(); ++b) {
+        if (b >= 4 && b < 8)
+            inCrowd += server.buckets[b];
+        else
+            outside += server.buckets[b];
+    }
+    inCrowd /= 4.0;  // mean per crowd bucket
+    outside /= 8.0;  // mean per baseline bucket
+    ASSERT_GT(outside, 0.0);
+    const double ratio = inCrowd / outside;
+    // Ideal ratio is (1ms + rtt) / (1ms/3 + rtt) ~ 2.7.
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 3.2);
+}
+
+TEST(ClosedLoop, ProfileScheduleIsSeedDeterministic)
+{
+    ClosedLoopParams p = baseParams();
+    p.profile = LoadProfileParams::mmpp(4.0, msec(40), msec(10));
+    Rig a(p);
+    a.run();
+    Rig b(p);
+    b.run();
+    EXPECT_GT(a.gen.completed(), 0u);
+    EXPECT_EQ(a.gen.completed(), b.gen.completed());
+    EXPECT_EQ(a.gen.recorder().latencySummary().mean,
+              b.gen.recorder().latencySummary().mean);
+}
+
 TEST(ClosedLoop, ZeroThinkTimeStillProgresses)
 {
     ClosedLoopParams p = baseParams();

@@ -157,13 +157,29 @@ TEST(HdSearch, HigherFanoutRaisesTail)
     EXPECT_GT(latency(wide), latency(narrow));
 }
 
-TEST(HdSearchDeathTest, FanoutMustFitEncoding)
+TEST(HdSearch, WideFanoutSupported)
+{
+    // Sub-request correlation uses explicit Message parent/shard
+    // fields, so fan-outs wider than the old 4-bit id encoding work.
+    HdSearchParams p = deterministicParams();
+    p.fanout = 32;
+    Rig rig(p);
+    net::Message req;
+    req.id = 1;
+    rig.cluster.onMessage(req);
+    rig.sim.run();
+    ASSERT_EQ(rig.client.responses.size(), 1u);
+    EXPECT_EQ(rig.cluster.stats().subRequestsSent, 32u);
+    EXPECT_EQ(rig.cluster.stats().responsesSent, 1u);
+}
+
+TEST(HdSearchDeathTest, FanoutMustBePositive)
 {
     Simulator sim;
     net::Link reply(sim, Rng(1));
     ClientSink client(sim);
     HdSearchParams p;
-    p.fanout = 16;
+    p.fanout = 0;
     EXPECT_DEATH(HdSearchCluster(sim, hw::HwConfig::serverBaseline(),
                                  reply, client, Rng(2), p),
                  "fanout");
