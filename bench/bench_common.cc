@@ -94,5 +94,34 @@ progress(const core::StudyCell &cell)
                  cell.result.medianAvg());
 }
 
+std::string
+writeBenchJson(const std::string &bench,
+               const std::vector<BenchMetric> &metrics)
+{
+    std::string path;
+    if (const char *env = std::getenv("TPV_BENCH_JSON"))
+        path = env;
+    else
+        path = "BENCH_" + bench + ".json";
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write bench report '", path, "'");
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n",
+                 bench.c_str());
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"value\": %.6g, "
+                     "\"unit\": \"%s\"}%s\n",
+                     metrics[i].name.c_str(), metrics[i].value,
+                     metrics[i].unit.c_str(),
+                     i + 1 < metrics.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "  [json] wrote %s\n", path.c_str());
+    return path;
+}
+
 } // namespace bench
 } // namespace tpv

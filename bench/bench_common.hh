@@ -65,6 +65,26 @@ std::vector<double> memcachedLoads();
 /** Print a one-line progress marker to stderr. */
 void progress(const core::StudyCell &cell);
 
+/** One metric of a machine-readable bench report. */
+struct BenchMetric
+{
+    std::string name;
+    double value = 0;
+    /** Unit tag, e.g. "events/s", "allocs/event". */
+    std::string unit;
+};
+
+/**
+ * Write a machine-readable JSON report ("BENCH_<bench>.json") so perf
+ * trajectories can be tracked across commits and uploaded as CI
+ * artifacts. The output path is taken from the TPV_BENCH_JSON
+ * environment variable when set, else "BENCH_<bench>.json" in the
+ * working directory.
+ * @return the path written.
+ */
+std::string writeBenchJson(const std::string &bench,
+                           const std::vector<BenchMetric> &metrics);
+
 } // namespace bench
 } // namespace tpv
 

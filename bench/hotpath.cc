@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Hot-path events/sec driver: the tracked perf baseline behind the
+ * zero-allocation simulator rewrite.
+ *
+ * Measures the event queue under the three shapes the simulator
+ * actually runs — steady-state schedule/fire with a Message payload
+ * (one event in, one event out, constant queue depth: the inner loop
+ * of every simulated run), batch schedule-then-drain, and the
+ * cancel-heavy hedge-timer pattern — plus a full simulated memcached
+ * run, and writes the numbers to BENCH_hotpath.json so the perf
+ * trajectory is tracked from commit to commit.
+ *
+ * It is also the allocation gate: a replaced operator new counts
+ * every heap allocation, and the driver *fails* (exit 1) if the
+ * steady-state schedule/fire loop allocates at all once warm. Use
+ * this in CI so the zero-allocation property cannot silently rot.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "alloc_counter.hh"
+#include "bench_common.hh"
+
+#include "core/experiment.hh"
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/fixed_containers.hh"
+
+namespace {
+
+using namespace tpv;
+using bench::g_allocs;
+using bench::Sink;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * Steady-state schedule/fire with a Message payload: every fired
+ * event delivers a message and schedules its successor, holding the
+ * queue at @p depth — the shape of a simulation in flight. The
+ * message parks in a slot pool and the event captures its index, the
+ * same pattern net::Link uses.
+ * @return events per second; *allocs gets the allocations performed
+ *         after warmup (must be zero).
+ */
+double
+steadyMessageEvents(long total, int depth, std::uint64_t *allocs)
+{
+    Sink sink;
+    EventQueue q;
+    SlotPool<net::Message> pool;
+    net::Message msg;
+    msg.bytes = 100;
+    std::uint64_t rnd = 12345;
+    Time now = 0;
+
+    auto sched = [&](auto &&self, Time when) -> void {
+        msg.id = rnd;
+        net::Endpoint *dst = &sink;
+        const std::uint32_t idx = pool.acquire(msg);
+        q.schedule(when, [idx, dst, &pool, &q, &self, &rnd, &now] {
+            dst->onMessage(pool.take(idx));
+            rnd = rnd * 6364136223846793005ULL + 1442695040888963407ULL;
+            self(self,
+                 now + 1 + static_cast<Time>((rnd >> 33) % 1024));
+        });
+    };
+    for (int i = 0; i < depth; ++i)
+        sched(sched, i);
+
+    // Warm to the high-water mark before arming the allocation gate.
+    long fired = 0;
+    for (; fired < depth * 4; ++fired)
+        now = q.runNext();
+    const std::uint64_t allocs0 = g_allocs.load();
+    const auto t0 = Clock::now();
+    for (; fired < total; ++fired)
+        now = q.runNext();
+    const double secs = secondsSince(t0);
+    *allocs = g_allocs.load() - allocs0;
+    return static_cast<double>(total - depth * 4) / secs;
+}
+
+/** Batch schedule-then-drain with Message payloads. */
+double
+batchMessageEvents(long reps, int batch)
+{
+    Sink sink;
+    EventQueue q;
+    SlotPool<net::Message> pool;
+    net::Message msg;
+    msg.bytes = 100;
+    const auto t0 = Clock::now();
+    for (long r = 0; r < reps; ++r) {
+        for (int i = 0; i < batch; ++i) {
+            msg.id = static_cast<std::uint64_t>(i);
+            net::Endpoint *dst = &sink;
+            const std::uint32_t idx = pool.acquire(msg);
+            q.schedule(i, [idx, dst, &pool] {
+                dst->onMessage(pool.take(idx));
+            });
+        }
+        while (!q.empty())
+            q.runNext();
+    }
+    return static_cast<double>(reps * batch) / secondsSince(t0);
+}
+
+/**
+ * The hedge-timer shape: most scheduled events are cancelled before
+ * they fire (exercising the eager dead-entry compaction), the rest
+ * fire in order.
+ */
+double
+scheduleCancelEvents(long reps, int batch)
+{
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    handles.reserve(static_cast<std::size_t>(batch));
+    std::uint64_t fired = 0;
+    const auto t0 = Clock::now();
+    for (long r = 0; r < reps; ++r) {
+        handles.clear();
+        for (int i = 0; i < batch; ++i)
+            handles.push_back(q.schedule(i, [&fired] { ++fired; }));
+        // 15 of 16 cancel — a hedging fan-out where nearly every
+        // timer is beaten by its primary reply.
+        for (int i = 0; i < batch; ++i) {
+            if (i % 16 != 0)
+                q.cancel(handles[static_cast<std::size_t>(i)]);
+        }
+        while (!q.empty())
+            q.runNext();
+    }
+    return static_cast<double>(reps * batch) / secondsSince(t0);
+}
+
+/** Full simulated memcached runs: end-to-end events per wall second. */
+double
+simulatedRunEvents(int runs)
+{
+    auto cfg = core::ExperimentConfig::forMemcached(100000);
+    cfg.gen.warmup = msec(10);
+    cfg.gen.duration = msec(100);
+    std::uint64_t events = 0;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < runs; ++i) {
+        cfg.seed = static_cast<std::uint64_t>(i) + 1;
+        events += core::runOnce(cfg).events;
+    }
+    return static_cast<double>(events) / secondsSince(t0);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("hot-path events/sec (see BENCH_hotpath.json)\n\n");
+
+    std::uint64_t steadyAllocs = ~0ULL;
+    const double steady =
+        steadyMessageEvents(5'000'000, 512, &steadyAllocs);
+    const double batch = batchMessageEvents(2000, 1024);
+    const double cancel = scheduleCancelEvents(500, 4096);
+    const double run = simulatedRunEvents(5);
+
+    std::printf("  %-34s %10.2f Mev/s\n",
+                "steady-state Message schedule/fire", steady / 1e6);
+    std::printf("  %-34s %10.2f Mev/s\n",
+                "batch Message schedule/drain", batch / 1e6);
+    std::printf("  %-34s %10.2f Mev/s\n", "schedule/cancel (hedge shape)",
+                cancel / 1e6);
+    std::printf("  %-34s %10.2f Mev/s\n", "simulated memcached run", run / 1e6);
+    std::printf("  %-34s %10llu\n", "steady-state heap allocations",
+                static_cast<unsigned long long>(steadyAllocs));
+
+    tpv::bench::writeBenchJson(
+        "hotpath",
+        {
+            {"steady_message_events_per_sec", steady, "events/s"},
+            {"batch_message_events_per_sec", batch, "events/s"},
+            {"schedule_cancel_events_per_sec", cancel, "events/s"},
+            {"memcached_run_events_per_sec", run, "events/s"},
+            {"steady_state_allocs", static_cast<double>(steadyAllocs),
+             "allocs"},
+        });
+
+    if (steadyAllocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: EventQueue::schedule hot loop performed "
+                     "%llu heap allocations in steady state\n",
+                     static_cast<unsigned long long>(steadyAllocs));
+        return 1;
+    }
+    std::printf("\nsteady-state allocation gate: PASS (0 allocs)\n");
+    return 0;
+}

@@ -9,8 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+// Allocation counter for the event-queue benchmarks: the hot path
+// promises zero steady-state allocations, and the "allocs/event"
+// counter below makes a regression visible in every run. (The hard
+// CI gate lives in bench/hotpath.cc, which exits non-zero.)
+#include "alloc_counter.hh"
+
 #include "core/experiment.hh"
+#include "net/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/fixed_containers.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "stats/ci.hh"
@@ -21,6 +29,8 @@
 namespace {
 
 using namespace tpv;
+using bench::g_allocs;
+using bench::Sink;
 
 void
 BM_EventQueueScheduleRun(benchmark::State &state)
@@ -38,6 +48,111 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+/**
+ * Steady-state Message-capturing schedule/fire: every fired event
+ * delivers a message and schedules its successor at a pseudo-random
+ * future instant, holding the queue at a constant depth — the inner
+ * loop of a simulated run. Messages ride a slot pool exactly like
+ * net::Link's in-flight payloads, and the "allocs/event" counter
+ * must read 0.00 once the tables are warm.
+ */
+void
+BM_EventQueueSteadyMessage(benchmark::State &state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    Sink sink;
+    EventQueue q;
+    SlotPool<net::Message> pool;
+    net::Message msg;
+    msg.bytes = 100;
+    std::uint64_t rnd = 12345;
+    Time now = 0;
+
+    auto sched = [&](auto &&self, Time when) -> void {
+        msg.id = rnd;
+        net::Endpoint *dst = &sink;
+        const std::uint32_t idx = pool.acquire(msg);
+        q.schedule(when, [idx, dst, &pool, &q, &self, &rnd, &now] {
+            dst->onMessage(pool.take(idx));
+            rnd = rnd * 6364136223846793005ULL + 1442695040888963407ULL;
+            self(self,
+                 now + 1 + static_cast<Time>((rnd >> 33) % 1024));
+        });
+    };
+    for (int i = 0; i < depth; ++i)
+        sched(sched, i);
+    for (int i = 0; i < depth * 4; ++i)
+        now = q.runNext(); // reach the high-water mark
+    const std::uint64_t allocs0 = g_allocs.load();
+    std::int64_t fired = 0;
+    for (auto _ : state) {
+        now = q.runNext();
+        ++fired;
+    }
+    benchmark::DoNotOptimize(sink.seen);
+    state.SetItemsProcessed(fired);
+    state.counters["allocs/event"] =
+        fired ? static_cast<double>(g_allocs.load() - allocs0) /
+                    static_cast<double>(fired)
+              : 0;
+}
+BENCHMARK(BM_EventQueueSteadyMessage)->Arg(64)->Arg(512);
+
+/** Batch Message-capturing schedule-then-drain. */
+void
+BM_EventQueueBatchMessage(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    Sink sink;
+    EventQueue q;
+    SlotPool<net::Message> pool;
+    net::Message msg;
+    msg.bytes = 100;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            msg.id = static_cast<std::uint64_t>(i);
+            net::Endpoint *dst = &sink;
+            const std::uint32_t idx = pool.acquire(msg);
+            q.schedule(i, [idx, dst, &pool] {
+                dst->onMessage(pool.take(idx));
+            });
+        }
+        while (!q.empty())
+            q.runNext();
+    }
+    benchmark::DoNotOptimize(sink.seen);
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueBatchMessage)->Arg(1024);
+
+/**
+ * Interleaved schedule/cancel/fire at the hedge-timer ratio (15 of
+ * 16 events cancel), driving the eager dead-entry compaction.
+ */
+void
+BM_EventQueueScheduleCancelFire(benchmark::State &state)
+{
+    const int batch = 4096;
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    handles.reserve(batch);
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        handles.clear();
+        for (int i = 0; i < batch; ++i)
+            handles.push_back(q.schedule(i, [&fired] { ++fired; }));
+        for (int i = 0; i < batch; ++i) {
+            if (i % 16 != 0)
+                q.cancel(handles[static_cast<std::size_t>(i)]);
+        }
+        while (!q.empty())
+            q.runNext();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleCancelFire);
 
 void
 BM_EventQueueCancelHeavy(benchmark::State &state)

@@ -37,15 +37,18 @@ HwThread::sleepUntil(Time when, Time dispatchWork, Callback fn)
 }
 
 void
-HwThread::sleepUntil(Time when, std::function<Time()> dispatchWork,
-                     Callback fn)
+HwThread::sleepUntil(Time when, DispatchFn dispatchWork, Callback fn)
 {
     TPV_ASSERT(when >= sim_.now(), "sleepUntil into the past");
     core_.armTimer(when);
-    sim_.at(when, [this, when, dw = std::move(dispatchWork),
-                   fn = std::move(fn)]() mutable {
+    // Park the callback pair in the sleep pool: the timer event then
+    // captures a 4-byte index and fits the queue's inline budget.
+    const std::uint32_t idx =
+        sleeps_.acquire(Sleep{std::move(dispatchWork), std::move(fn)});
+    sim_.at(when, [this, when, idx] {
         core_.disarmTimer(when);
-        submit(dw ? dw() : 0, std::move(fn));
+        Sleep s = sleeps_.take(idx);
+        submit(s.dispatch ? s.dispatch() : 0, std::move(s.fn));
     });
 }
 
@@ -56,8 +59,7 @@ HwThread::trySchedule()
         return;
     if (core_.power_ != Core::PowerState::Active)
         return;
-    Task task = std::move(queue_.front());
-    queue_.pop_front();
+    Task task = queue_.pop_front();
     running_ = true;
     remaining_ = task.remaining;
     workCompleted_ += static_cast<Time>(task.remaining);
@@ -332,8 +334,8 @@ Time
 Core::timerHintDelta() const
 {
     Time next = kTimeNever;
-    if (!armedTimers_.empty())
-        next = *armedTimers_.begin();
+    for (Time t : armedTimers_)
+        next = std::min(next, t);
     if (nextTick_ != kTimeNever)
         next = std::min(next, nextTick_);
     if (next == kTimeNever)
@@ -344,15 +346,19 @@ Core::timerHintDelta() const
 void
 Core::armTimer(Time when)
 {
-    armedTimers_.insert(when);
+    armedTimers_.push_back(when);
 }
 
 void
 Core::disarmTimer(Time when)
 {
-    auto it = armedTimers_.find(when);
-    if (it != armedTimers_.end())
-        armedTimers_.erase(it);
+    for (std::size_t i = 0; i < armedTimers_.size(); ++i) {
+        if (armedTimers_[i] == when) {
+            armedTimers_[i] = armedTimers_.back();
+            armedTimers_.pop_back();
+            return;
+        }
+    }
 }
 
 void

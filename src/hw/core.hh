@@ -20,16 +20,15 @@
 #define TPV_HW_CORE_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "hw/cstate.hh"
 #include "hw/dvfs.hh"
 #include "hw/idle_governor.hh"
+#include "sim/fixed_containers.hh"
+#include "sim/inline_function.hh"
 #include "sim/simulator.hh"
 #include "sim/time.hh"
 
@@ -45,7 +44,17 @@ class Machine;
 class HwThread
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Task-completion callbacks ride the run queue inline. The
+     * 80-byte budget fits a full net::Message plus an owner pointer
+     * (the server dispatch path captures exactly that); bigger
+     * captures must shrink — capture the fields actually used, not
+     * the whole payload (see sim/inline_function.hh).
+     */
+    using Callback = InplaceCallback<80>;
+
+    /** Fire-time dispatch-work thunk for sleepUntil(). */
+    using DispatchFn = InplaceFunction<Time, 24>;
 
     HwThread(Simulator &sim, Core &core, int idx);
     HwThread(const HwThread &) = delete;
@@ -74,8 +83,7 @@ class HwThread
      * actually blocked (epoll batching: events picked up while the
      * loop is already running skip the IRQ + context switch).
      */
-    void sleepUntil(Time when, std::function<Time()> dispatchWork,
-                    Callback fn);
+    void sleepUntil(Time when, DispatchFn dispatchWork, Callback fn);
 
     /** True while a task occupies the pipeline. */
     bool running() const { return running_; }
@@ -116,8 +124,15 @@ class HwThread
 
     struct Task
     {
-        double remaining; // nominal ns
+        double remaining = 0; // nominal ns
         Callback done;
+    };
+
+    /** One pending sleepUntil(), parked until its timer fires. */
+    struct Sleep
+    {
+        DispatchFn dispatch;
+        Callback fn;
     };
 
     /** Start the head-of-queue task if the core allows execution. */
@@ -135,7 +150,10 @@ class HwThread
     Simulator &sim_;
     Core &core_;
     int idx_;
-    std::deque<Task> queue_;
+    RingQueue<Task> queue_;
+    /** Pending sleepUntil() records; the timer event captures a slot
+     *  index, keeping the callback pair out of the event queue. */
+    SlotPool<Sleep> sleeps_;
     bool running_ = false;
     double remaining_ = 0;
     Callback currentDone_;
@@ -252,7 +270,12 @@ class Core
     Time idleStart_ = 0;
     Time pendingIdleDur_ = 0;
     Time lastWakeEnd_ = 0;
-    std::multiset<Time> armedTimers_;
+    /**
+     * Armed timer deadlines, unordered. A core has a handful at most,
+     * so the governor's min scan is cheaper than the per-arm node
+     * allocation a std::multiset would pay on every sleepUntil().
+     */
+    std::vector<Time> armedTimers_;
     Time nextTick_ = kTimeNever;
     Stats stats_;
     bool countedActive_ = true;

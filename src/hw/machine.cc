@@ -75,8 +75,12 @@ Machine::deliverIrq(std::size_t threadIdx, Time irqWork,
         return;
     }
     ++uncoreWakePenalties_;
-    sim_.schedule(penalty, [&t, irqWork, handler = std::move(handler)]()
-                              mutable { t.submit(irqWork, std::move(handler)); });
+    // The deferred submit captures the full handler (beyond the event
+    // queue's inline budget); uncore wakes are rare — I/O hitting a
+    // fully idle package — so boxing the capture is fine here.
+    sim_.schedule(penalty,
+                  heapWrap([&t, irqWork, handler = std::move(handler)]()
+                               mutable { t.submit(irqWork, std::move(handler)); }));
 }
 
 Time

@@ -45,6 +45,13 @@ ClosedLoopGenerator::start()
 {
     const Time now = sim_.now();
     recorder_.setWindow(now + params_.warmup, now + params_.windowEnd());
+    // Little's-law estimate of the completion rate when think time
+    // dominates the cycle: population / mean think.
+    if (params_.thinkTime > 0) {
+        recorder_.reserveFor(static_cast<double>(clients_.size()) /
+                                 toSec(params_.thinkTime),
+                             params_.duration);
+    }
     sendDeadline_ = now + params_.windowEnd();
     windowEnd_ = now + params_.windowEnd();
     profileEpoch_ = now;
@@ -124,19 +131,23 @@ ClosedLoopGenerator::onMessage(const net::Message &resp)
                                 toUsec(nicTime - resp.appSendTime));
     }
 
+    // Only the send timestamp is needed downstream; capturing it
+    // alone keeps the per-response callbacks small.
+    const Time sentAt = resp.appSendTime;
+
     // Closed loop responses always wake the blocked client.
-    client_.deliverIrq(c.threadIdx, cfg.irqWork, [this, resp, &c] {
+    client_.deliverIrq(c.threadIdx, cfg.irqWork, [this, sentAt, &c] {
         if (params_.measure == MeasurePoint::Kernel) {
-            recorder_.recordLatency(resp.appSendTime,
-                                    toUsec(sim_.now() - resp.appSendTime));
+            recorder_.recordLatency(sentAt,
+                                    toUsec(sim_.now() - sentAt));
         }
         const hw::HwConfig &ccfg = client_.config();
         client_.thread(c.threadIdx)
-            .submit(ccfg.ctxSwitch + params_.parseWork, [this, resp, &c] {
+            .submit(ccfg.ctxSwitch + params_.parseWork,
+                    [this, sentAt, &c] {
                 if (params_.measure == MeasurePoint::InApp) {
-                    recorder_.recordLatency(
-                        resp.appSendTime,
-                        toUsec(sim_.now() - resp.appSendTime));
+                    recorder_.recordLatency(sentAt,
+                                            toUsec(sim_.now() - sentAt));
                 }
                 ++completed_;
                 // The response releases this client for its next

@@ -58,6 +58,9 @@ OpenLoopGenerator::start()
 {
     const Time now = sim_.now();
     recorder_.setWindow(now + params_.warmup, now + params_.windowEnd());
+    // Size the sample vectors from the offered load x window so the
+    // record path never reallocates mid-run.
+    recorder_.reserveFor(params_.qps, params_.duration);
     sendDeadline_ = now + params_.windowEnd();
     windowEnd_ = now + params_.windowEnd();
     profileEpoch_ = now;
@@ -205,6 +208,11 @@ OpenLoopGenerator::handleResponse(const net::Message &resp, Time nicTime)
                                 toUsec(nicTime - epoch));
     }
 
+    // Only the send timestamp survives past this point — capturing it
+    // alone (instead of the whole response) keeps these per-response
+    // callbacks inside the run queue's inline budget.
+    const Time sentAt = resp.appSendTime;
+
     if (params_.completion == CompletionMode::Blocking) {
         // IRQ wakes the core; the softirq timestamp is the kernel
         // measurement point; the context switch + parse precede the
@@ -213,19 +221,18 @@ OpenLoopGenerator::handleResponse(const net::Message &resp, Time nicTime)
         // batch — no additional context switch.
         const bool blocked = !client_.thread(thrIdx).busy();
         client_.deliverIrq(thrIdx, cfg.irqWork,
-                           [this, resp, thrIdx, blocked, epoch] {
+                           [this, sentAt, thrIdx, blocked, epoch] {
             if (params_.measure == MeasurePoint::Kernel) {
-                recorder_.recordLatency(resp.appSendTime,
+                recorder_.recordLatency(sentAt,
                                         toUsec(sim_.now() - epoch));
             }
             const hw::HwConfig &ccfg = client_.config();
             const Time handoff = blocked ? ccfg.ctxSwitch : 0;
             client_.thread(thrIdx).submit(
-                handoff + params_.parseWork, [this, resp, epoch] {
+                handoff + params_.parseWork, [this, sentAt, epoch] {
                     if (params_.measure == MeasurePoint::InApp) {
                         recorder_.recordLatency(
-                            resp.appSendTime,
-                            toUsec(sim_.now() - epoch));
+                            sentAt, toUsec(sim_.now() - epoch));
                     }
                 });
         });
@@ -233,10 +240,10 @@ OpenLoopGenerator::handleResponse(const net::Message &resp, Time nicTime)
         // Polling completion: the spinning app thread parses the
         // response directly; no wake, no context switch.
         client_.thread(thrIdx).submit(params_.parseWork,
-                                      [this, resp, epoch] {
+                                      [this, sentAt, epoch] {
             if (params_.measure == MeasurePoint::Kernel ||
                 params_.measure == MeasurePoint::InApp) {
-                recorder_.recordLatency(resp.appSendTime,
+                recorder_.recordLatency(sentAt,
                                         toUsec(sim_.now() - epoch));
             }
         });

@@ -28,6 +28,13 @@ class LatencyRecorder
     /** Define the measurement window (absolute simulated times). */
     void setWindow(Time start, Time end);
 
+    /**
+     * Pre-size the sample vectors for an expected @p perSecond event
+     * rate over a @p window of simulated time (plus headroom), so the
+     * record path never reallocates mid-run.
+     */
+    void reserveFor(double perSecond, Time window);
+
     /** @return true when @p t falls inside the window. */
     bool inWindow(Time t) const { return t >= start_ && t < end_; }
 
@@ -61,10 +68,19 @@ class LatencyRecorder
         return interarrivals_;
     }
 
-    /** Summary of the latency samples. */
+    /**
+     * The latency samples sorted ascending, computed once per run and
+     * cached (invalidated by recordLatency). Every consumer that
+     * needs order statistics — the summary, percentile scans, trimmed
+     * means — reads this one sorted copy through stats::SortedView
+     * instead of re-sorting per call.
+     */
+    const std::vector<double> &sortedLatencies() const;
+
+    /** Summary of the latency samples (via the sorted-once cache). */
     stats::Summary latencySummary() const
     {
-        return stats::Summary::of(latencies_);
+        return stats::Summary::ofSorted(sortedLatencies());
     }
 
     /** Summary of the send lateness samples. */
@@ -82,6 +98,9 @@ class LatencyRecorder
     std::vector<double> latencies_;
     std::vector<double> lateness_;
     std::vector<double> interarrivals_;
+    /** Lazily sorted copy of latencies_; valid while !sortedDirty_. */
+    mutable std::vector<double> sortedLatencies_;
+    mutable bool sortedDirty_ = true;
     std::uint64_t sent_ = 0;
     std::uint64_t received_ = 0;
 };

@@ -34,7 +34,18 @@ Link::send(Message msg, Endpoint &dst)
     const Time delay = sampleDelay(msg.bytes);
     ++messagesSent_;
     totalDelay_ += delay;
-    sim_.schedule(delay, [msg, &dst] { dst.onMessage(msg); });
+    const std::uint32_t idx = inflight_.acquire(msg);
+    Endpoint *d = &dst;
+    sim_.schedule(delay, [this, idx, d] { deliver(idx, d); });
+}
+
+void
+Link::deliver(std::uint32_t idx, Endpoint *dst)
+{
+    // Free the slot before delivering: the handler may send again and
+    // reuse it.
+    const Message msg = inflight_.take(idx);
+    dst->onMessage(msg);
 }
 
 } // namespace net

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "net/message.hh"
+#include "sim/fixed_containers.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 
@@ -56,9 +57,19 @@ class Link
     Time sampleDelay(std::uint32_t bytes);
 
   private:
+    /** Deliver in-flight message @p idx to @p dst and free its slot. */
+    void deliver(std::uint32_t idx, Endpoint *dst);
+
     Simulator &sim_;
     Rng rng_;
     Params params_;
+    /**
+     * Messages in flight on this link. Parking the payload here lets
+     * the delivery event capture a 4-byte slot index instead of the
+     * whole Message, keeping it inside the event queue's inline
+     * callback budget (and off the heap).
+     */
+    SlotPool<Message> inflight_;
     std::uint64_t messagesSent_ = 0;
     Time totalDelay_ = 0;
 };

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Fixed-capacity, move-only callables for the simulator hot path.
+ *
+ * Every simulated packet hop, core completion, and open-loop send is
+ * one scheduled callback. With std::function, any capture beyond the
+ * implementation's small-buffer optimisation (16 bytes in libstdc++)
+ * costs a heap allocation, an indirect call through type erasure, and
+ * a deallocation — per event, in the innermost loop of every run of
+ * every study. InplaceFunction stores its capture inline in a
+ * fixed-size buffer instead, so queue slots and run-queue entries own
+ * their callbacks with zero steady-state allocation, the way gem5's
+ * intrusive events do.
+ *
+ * The capacity is a hard budget: a capture that does not fit fails to
+ * compile (static_assert) instead of silently spilling to the heap.
+ * When that fires, first try to shrink the capture — capture a field
+ * instead of a whole struct, an index into a pool instead of a
+ * payload. For genuinely cold paths where a big capture is fine,
+ * heapWrap() boxes the callable behind one explicit allocation.
+ */
+
+#ifndef TPV_SIM_INLINE_FUNCTION_HH
+#define TPV_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tpv {
+
+/**
+ * A move-only callable of signature R() whose target is stored inline
+ * in a Capacity-byte buffer. No heap, ever: construction from a
+ * callable larger than Capacity is a compile error.
+ *
+ * Targets must be nothrow-move-constructible (they relocate when the
+ * owning container moves) and at most max_align_t-aligned.
+ */
+template <typename R, std::size_t Capacity>
+class InplaceFunction
+{
+  public:
+    /** Inline capture budget, bytes. */
+    static constexpr std::size_t capacity = Capacity;
+
+    InplaceFunction() noexcept = default;
+    InplaceFunction(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+    InplaceFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<R, Fn &>,
+                      "callable is not invocable as R()");
+        static_assert(sizeof(Fn) <= Capacity,
+                      "capture exceeds the inline budget: shrink the "
+                      "capture (capture fields or pool indices, not "
+                      "whole payloads) or box a cold-path callable "
+                      "with tpv::heapWrap()");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned capture");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "captures must be nothrow-movable");
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+        ops_ = opsFor<Fn>();
+    }
+
+    InplaceFunction(InplaceFunction &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    InplaceFunction &
+    operator=(InplaceFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InplaceFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InplaceFunction(const InplaceFunction &) = delete;
+    InplaceFunction &operator=(const InplaceFunction &) = delete;
+
+    ~InplaceFunction() { reset(); }
+
+    /** @return true when a target is stored. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    bool
+    operator==(std::nullptr_t) const noexcept
+    {
+        return ops_ == nullptr;
+    }
+
+    /** Invoke the target. @pre *this holds a target. */
+    R
+    operator()()
+    {
+        return ops_->invoke(buf_);
+    }
+
+    /** Destroy the target (if any) and become empty. */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *);
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static const Ops *
+    opsFor()
+    {
+        static constexpr Ops table{
+            [](void *p) -> R { return (*static_cast<Fn *>(p))(); },
+            [](void *dst, void *src) {
+                ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+                static_cast<Fn *>(src)->~Fn();
+            },
+            [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+        };
+        return &table;
+    }
+
+    /** Relocate other's target into this (empty) object. */
+    void
+    moveFrom(InplaceFunction &other) noexcept
+    {
+        if (other.ops_) {
+            other.ops_->relocate(buf_, other.buf_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+/**
+ * The simulator's event-callback type: a void() inline callable. The
+ * default 64-byte budget fits every hot-path capture in the tree
+ * (payloads travel as pool indices, see net::Link's in-flight pool).
+ */
+template <std::size_t Capacity = 64>
+using InplaceCallback = InplaceFunction<void, Capacity>;
+
+/**
+ * Escape hatch for captures that exceed the inline budget on genuinely
+ * cold paths: boxes @p f behind one heap allocation and returns an
+ * InplaceCallback holding just the owning pointer. Do not use on a
+ * per-event hot path — shrink the capture there instead.
+ */
+template <std::size_t Capacity = 64, typename F>
+InplaceCallback<Capacity>
+heapWrap(F &&f)
+{
+    auto boxed = std::make_unique<std::decay_t<F>>(std::forward<F>(f));
+    return InplaceCallback<Capacity>(
+        [p = std::move(boxed)] { (*p)(); });
+}
+
+} // namespace tpv
+
+#endif // TPV_SIM_INLINE_FUNCTION_HH

@@ -13,7 +13,6 @@
 #define TPV_SIM_SIMULATOR_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hh"
 #include "sim/time.hh"

@@ -66,19 +66,52 @@ double
 median(const std::vector<double> &xs)
 {
     TPV_ASSERT(!xs.empty(), "median of empty sample set");
-    std::vector<double> ys = sorted(xs);
-    const std::size_t n = ys.size();
-    if (n % 2 == 1)
-        return ys[n / 2];
-    return 0.5 * (ys[n / 2 - 1] + ys[n / 2]);
+    const std::vector<double> ys = sorted(xs);
+    return SortedView(ys).median();
 }
 
 double
 percentile(const std::vector<double> &xs, double p)
 {
     TPV_ASSERT(!xs.empty(), "percentile of empty sample set");
+    const std::vector<double> ys = sorted(xs);
+    return SortedView(ys).percentile(p);
+}
+
+double
+trimmedMean(const std::vector<double> &xs, double trimFrac)
+{
+    const std::vector<double> ys = sorted(xs);
+    return SortedView(ys).trimmedMean(trimFrac);
+}
+
+SortedView::SortedView(const std::vector<double> &sortedXs)
+    : xs_(&sortedXs)
+{
+    TPV_ASSERT(std::is_sorted(sortedXs.begin(), sortedXs.end()),
+               "SortedView over unsorted samples");
+}
+
+double
+SortedView::min() const
+{
+    TPV_ASSERT(!empty(), "min of empty sample set");
+    return xs_->front();
+}
+
+double
+SortedView::max() const
+{
+    TPV_ASSERT(!empty(), "max of empty sample set");
+    return xs_->back();
+}
+
+double
+SortedView::percentile(double p) const
+{
+    TPV_ASSERT(!empty(), "percentile of empty sample set");
     TPV_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of [0,100]: ", p);
-    std::vector<double> ys = sorted(xs);
+    const std::vector<double> &ys = *xs_;
     const std::size_t n = ys.size();
     if (n == 1)
         return ys[0];
@@ -89,33 +122,53 @@ percentile(const std::vector<double> &xs, double p)
     return ys[lo] + frac * (ys[hi] - ys[lo]);
 }
 
+double
+SortedView::trimmedMean(double trimFrac) const
+{
+    TPV_ASSERT(trimFrac >= 0.0 && trimFrac < 0.5,
+               "trim fraction out of [0, 0.5): ", trimFrac);
+    const std::vector<double> &ys = *xs_;
+    const auto cut = static_cast<std::size_t>(
+        std::floor(static_cast<double>(ys.size()) * trimFrac));
+    TPV_ASSERT(ys.size() > 2 * cut, "trimmed mean of empty middle");
+    double sum = 0;
+    for (std::size_t i = cut; i < ys.size() - cut; ++i)
+        sum += ys[i];
+    return sum / static_cast<double>(ys.size() - 2 * cut);
+}
+
 Summary
 Summary::of(const std::vector<double> &xs)
 {
-    Summary s;
-    s.count = xs.size();
     if (xs.empty())
+        return Summary{};
+    return ofSorted(sorted(xs));
+}
+
+Summary
+Summary::ofSorted(const std::vector<double> &sortedXs)
+{
+    Summary s;
+    s.count = sortedXs.size();
+    if (sortedXs.empty())
         return s;
-    std::vector<double> ys = sorted(xs);
-    s.min = ys.front();
-    s.max = ys.back();
+    const SortedView view(sortedXs);
+    s.min = view.min();
+    s.max = view.max();
     double sum = 0;
-    for (double x : ys)
+    for (double x : sortedXs)
         sum += x;
-    s.mean = sum / static_cast<double>(ys.size());
-    if (ys.size() >= 2) {
+    s.mean = sum / static_cast<double>(sortedXs.size());
+    if (sortedXs.size() >= 2) {
         double ss = 0;
-        for (double x : ys)
+        for (double x : sortedXs)
             ss += (x - s.mean) * (x - s.mean);
-        s.stdev = std::sqrt(ss / static_cast<double>(ys.size() - 1));
+        s.stdev = std::sqrt(ss / static_cast<double>(sortedXs.size() - 1));
     }
-    // Reuse percentile() on the already sorted data: it re-sorts, but
-    // sorting sorted data is cheap and keeps one definition of the
-    // interpolation rule.
-    s.median = percentile(ys, 50.0);
-    s.p90 = percentile(ys, 90.0);
-    s.p95 = percentile(ys, 95.0);
-    s.p99 = percentile(ys, 99.0);
+    s.median = view.median();
+    s.p90 = view.percentile(90.0);
+    s.p95 = view.percentile(95.0);
+    s.p99 = view.percentile(99.0);
     return s;
 }
 

@@ -50,8 +50,53 @@ double median(const std::vector<double> &xs);
  */
 double percentile(const std::vector<double> &xs, double p);
 
+/**
+ * Mean after dropping floor(n * trimFrac) samples from each end — the
+ * outlier-robust location estimate used to sanity-check skewed run
+ * distributions. @pre 0 <= trimFrac < 0.5, trimmed set non-empty.
+ */
+double trimmedMean(const std::vector<double> &xs, double trimFrac);
+
 /** Sorted copy of the input. */
 std::vector<double> sorted(const std::vector<double> &xs);
+
+/**
+ * Non-owning view over an ALREADY SORTED sample vector: order
+ * statistics without re-sorting. This is the sorted-once hot path —
+ * a run's recorder sorts its samples one time and every percentile,
+ * median and trimmed mean reads from the same view, where the free
+ * functions above each pay a copy + sort per call.
+ *
+ * The view keeps one definition of the interpolation rule: every
+ * percentile in the tree, sorted-once or not, lands here.
+ */
+class SortedView
+{
+  public:
+    /** @param sortedXs sample vector, ascending (asserted). Must
+     *  outlive the view. */
+    explicit SortedView(const std::vector<double> &sortedXs);
+
+    std::size_t size() const { return xs_->size(); }
+    bool empty() const { return xs_->empty(); }
+
+    /** @pre !empty() */
+    double min() const;
+    /** @pre !empty() */
+    double max() const;
+
+    /** Linear-interpolation percentile, p in [0,100]. @pre !empty() */
+    double percentile(double p) const;
+
+    /** Median via the same interpolation rule. @pre !empty() */
+    double median() const { return percentile(50.0); }
+
+    /** Mean of the middle after trimming floor(n*trimFrac) per end. */
+    double trimmedMean(double trimFrac) const;
+
+  private:
+    const std::vector<double> *xs_;
+};
 
 /**
  * One-pass summary of a sample set. Convenient for run results where
@@ -71,6 +116,12 @@ struct Summary
 
     /** Build a summary from raw samples (empty input -> all zeros). */
     static Summary of(const std::vector<double> &xs);
+
+    /**
+     * Build a summary from samples that are ALREADY SORTED ascending
+     * (e.g. a recorder's sorted-once cache) — no copy, no re-sort.
+     */
+    static Summary ofSorted(const std::vector<double> &sortedXs);
 };
 
 } // namespace stats

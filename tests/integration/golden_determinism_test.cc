@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Golden determinism test for the simulator hot path.
+ *
+ * The zero-allocation rewrite (inline event callbacks, the 4-ary
+ * event heap, pooled in-flight messages, sorted-once statistics) must
+ * not move a single bit of any result: the (time, seq) pop order, the
+ * RNG stream consumption, and the summary arithmetic are all
+ * unchanged by construction. This test pins that claim to numbers: a
+ * sweepTopologies() cell — fan-out, replication and hedging all
+ * exercised — must reproduce the per-run fingerprints captured from
+ * the pre-rewrite implementation exactly (hexfloat, no tolerance).
+ *
+ * If this fails after an intentional ordering change, recapture the
+ * goldens by printing the fields below at full precision ("%a") from
+ * a trusted build. The values depend on the platform's libm (the
+ * work models draw lognormals), so recapture on glibc if a different
+ * math library ever disagrees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/study.hh"
+
+namespace tpv {
+namespace {
+
+struct GoldenRun
+{
+    double latencyMean;
+    double latencyP99;
+    double latenessMean;
+    std::uint64_t sent;
+    std::uint64_t received;
+    std::uint64_t events;
+    std::uint64_t hedgesSent;
+    std::uint64_t hedgesCancelled;
+    std::uint64_t duplicatesDiscarded;
+    Time serviceWorkDispatched;
+    Time duplicateWorkDispatched;
+};
+
+// Captured from the pre-rewrite (PR 3) build: HP client, HDSearch at
+// 20k qps, shape s4r2+h300us, 5ms warmup + 40ms window, baseSeed 42,
+// runs {0,1,2}, parallelism 2.
+const GoldenRun kGolden[] = {
+    {0x1.2a62c8cda8e5cp+15, 0x1.f91e60afa2f05p+15, 0x1.0028a91132909p+0,
+     895, 607, 44431, 3573, 7, 2412, 2237979109, 751115903},
+    {0x1.2cb9abc516e32p+15, 0x1.f18fc913e8146p+15, 0x1.00baada54473fp+0,
+     928, 605, 44998, 3702, 10, 2404, 2267690689, 750907589},
+    {0x1.3075d65847cbbp+15, 0x1.f8c264d163347p+15, 0x1.01fea0afd2ffp+0,
+     892, 602, 44253, 3560, 8, 2412, 2179728631, 739118789},
+};
+
+TEST(GoldenDeterminism, SweepTopologiesCellIsBitIdenticalToPreRewrite)
+{
+    core::RunnerOptions opt;
+    opt.runs = 3;
+    opt.parallelism = 2;
+    opt.baseSeed = 42;
+    auto grid = core::sweepTopologies(
+        {"HP"}, {svc::TopologyShape{4, 2, usec(300)}},
+        [](const std::string &, const svc::TopologyShape &) {
+            auto cfg = core::ExperimentConfig::forHdSearch(20000);
+            cfg.gen.warmup = msec(5);
+            cfg.gen.duration = msec(40);
+            return cfg;
+        },
+        opt);
+
+    ASSERT_EQ(grid.cells.size(), 1u);
+    const auto &runs = grid.cells.front().result.runs;
+    ASSERT_EQ(runs.size(), std::size(kGolden));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        const core::RunResult &r = runs[i];
+        const GoldenRun &g = kGolden[i];
+        // Exact: the rewrite promises bit-identical runs, so the
+        // comparisons are ==, not near.
+        EXPECT_EQ(r.latency.mean, g.latencyMean);
+        EXPECT_EQ(r.latency.p99, g.latencyP99);
+        EXPECT_EQ(r.sendLateness.mean, g.latenessMean);
+        EXPECT_EQ(r.sent, g.sent);
+        EXPECT_EQ(r.received, g.received);
+        EXPECT_EQ(r.events, g.events);
+        EXPECT_EQ(r.service.hedgesSent, g.hedgesSent);
+        EXPECT_EQ(r.service.hedgesCancelled, g.hedgesCancelled);
+        EXPECT_EQ(r.service.duplicatesDiscarded, g.duplicatesDiscarded);
+        EXPECT_EQ(r.service.serviceWorkDispatched,
+                  g.serviceWorkDispatched);
+        EXPECT_EQ(r.service.duplicateWorkDispatched,
+                  g.duplicateWorkDispatched);
+    }
+}
+
+// The serial path must agree with the parallel one as well — the
+// golden capture above ran at parallelism 2, so this closes the loop
+// on "bit-identical at any width" for the rewritten hot path.
+TEST(GoldenDeterminism, SerialMatchesGoldenToo)
+{
+    core::RunnerOptions opt;
+    opt.runs = 3;
+    opt.parallelism = 1;
+    opt.baseSeed = 42;
+    auto cfg = core::ExperimentConfig::forHdSearch(20000);
+    cfg.gen.warmup = msec(5);
+    cfg.gen.duration = msec(40);
+    core::applyTopology(cfg, svc::TopologyShape{4, 2, usec(300)});
+    auto result = core::runMany(cfg, opt);
+    ASSERT_EQ(result.runs.size(), std::size(kGolden));
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        EXPECT_EQ(result.runs[i].latency.mean, kGolden[i].latencyMean);
+        EXPECT_EQ(result.runs[i].events, kGolden[i].events);
+    }
+}
+
+} // namespace
+} // namespace tpv

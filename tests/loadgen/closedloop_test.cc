@@ -16,14 +16,19 @@ struct DelayServer : net::Endpoint
     net::Link *reply = nullptr;
     net::Endpoint *client = nullptr;
     Time serviceTime = usec(20);
+    // Responses park here so the timer event captures an index, not
+    // the whole message (the production Link does the same).
+    SlotPool<net::Message> pending;
 
     void
     onMessage(const net::Message &req) override
     {
         net::Message resp = req;
         resp.isResponse = true;
-        sim->schedule(serviceTime,
-                      [this, resp] { reply->send(resp, *client); });
+        const std::uint32_t idx = pending.acquire(resp);
+        sim->schedule(serviceTime, [this, idx] {
+            reply->send(pending.take(idx), *client);
+        });
     }
 };
 

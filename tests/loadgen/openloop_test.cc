@@ -19,6 +19,9 @@ struct DelayServer : net::Endpoint
     net::Endpoint *client = nullptr;
     Time serviceTime = usec(10);
     std::uint64_t served = 0;
+    // Responses park here so the timer event captures an index, not
+    // the whole message (the production Link does the same).
+    SlotPool<net::Message> pending;
 
     void
     onMessage(const net::Message &req) override
@@ -26,7 +29,10 @@ struct DelayServer : net::Endpoint
         ++served;
         net::Message resp = req;
         resp.isResponse = true;
-        sim->schedule(serviceTime, [this, resp] { reply->send(resp, *client); });
+        const std::uint32_t idx = pending.acquire(resp);
+        sim->schedule(serviceTime, [this, idx] {
+            reply->send(pending.take(idx), *client);
+        });
     }
 };
 

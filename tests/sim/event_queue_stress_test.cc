@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Stress tests guarding the event queue's d-ary heap and inline
+ * callback slot table: randomized schedule/cancel/fire interleavings
+ * against a reference model, FIFO tie-break order under fire-while-
+ * scheduling, handle-generation safety across slot reuse, and the
+ * cancel-heavy compaction path.
+ */
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace tpv {
+namespace {
+
+/**
+ * Reference model: a sorted multimap of (time, insertion-seq) -> id.
+ * Unlike the one in event_queue_property_test, this model also pops,
+ * so fires interleave with schedules and cancels.
+ */
+struct RefModel
+{
+    std::multimap<std::pair<Time, std::uint64_t>, int> events;
+    std::uint64_t seq = 0;
+
+    std::pair<Time, std::uint64_t>
+    add(Time when, int id)
+    {
+        auto key = std::make_pair(when, seq++);
+        events.emplace(key, id);
+        return key;
+    }
+
+    bool
+    cancel(const std::pair<Time, std::uint64_t> &key)
+    {
+        auto it = events.find(key);
+        if (it == events.end())
+            return false;
+        events.erase(it);
+        return true;
+    }
+
+    int
+    pop()
+    {
+        auto it = events.begin();
+        const int id = it->second;
+        events.erase(it);
+        return id;
+    }
+
+    Time
+    nextTime() const
+    {
+        return events.begin()->first.first;
+    }
+};
+
+class EventQueueStress : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventQueueStress, RandomScheduleCancelFireMatchesReference)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x51ed + 3);
+    EventQueue q;
+    RefModel ref;
+    std::vector<int> fired;
+    std::vector<int> refFired;
+
+    struct Live
+    {
+        EventHandle handle;
+        std::pair<Time, std::uint64_t> key;
+    };
+    std::vector<Live> live;
+    std::vector<EventHandle> spent; // fired or cancelled handles
+    Time clock = 0;
+    int nextId = 0;
+
+    for (int op = 0; op < 6000; ++op) {
+        const double dice = rng.uniform01();
+        if (live.empty() || dice < 0.5) {
+            // Schedule. Coarse times force plenty of (time, seq) ties
+            // so the FIFO tie-break is genuinely exercised.
+            const Time when = clock + rng.uniformInt(0, 40);
+            const int id = nextId++;
+            EventHandle h =
+                q.schedule(when, [&fired, id] { fired.push_back(id); });
+            live.push_back(Live{h, ref.add(when, id)});
+        } else if (dice < 0.8) {
+            // Cancel a random handle — sometimes one already spent,
+            // which must fail on both sides.
+            if (rng.uniform01() < 0.2 && !spent.empty()) {
+                const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(spent.size()) - 1));
+                EXPECT_FALSE(q.cancel(spent[idx]));
+                EXPECT_FALSE(q.pending(spent[idx]));
+            } else {
+                const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(live.size()) - 1));
+                EXPECT_TRUE(q.cancel(live[idx].handle));
+                EXPECT_TRUE(ref.cancel(live[idx].key));
+                spent.push_back(live[idx].handle);
+                live.erase(live.begin() + static_cast<long>(idx));
+            }
+        } else {
+            // Fire the earliest event on both sides.
+            ASSERT_FALSE(q.empty());
+            const Time expect = ref.nextTime();
+            ASSERT_GE(expect, clock);
+            clock = expect;
+            refFired.push_back(ref.pop());
+            EXPECT_EQ(q.runNext(), expect);
+            ASSERT_EQ(fired, refFired);
+            // Drop the fired handle from the live set.
+            for (std::size_t i = 0; i < live.size(); ++i) {
+                if (!q.pending(live[i].handle)) {
+                    spent.push_back(live[i].handle);
+                    live.erase(live.begin() + static_cast<long>(i));
+                    break;
+                }
+            }
+        }
+        ASSERT_EQ(q.size(), ref.events.size());
+        // Generation safety: every live handle still pends, every
+        // spent one does not — however the heap reshuffles slots.
+        for (const Live &l : live)
+            ASSERT_TRUE(q.pending(l.handle));
+        for (const EventHandle &h : spent)
+            ASSERT_FALSE(q.pending(h));
+    }
+
+    while (!q.empty()) {
+        refFired.push_back(ref.pop());
+        q.runNext();
+    }
+    EXPECT_EQ(fired, refFired);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueStress, ::testing::Range(1, 7));
+
+TEST(EventQueueStress, FifoTieBreakSurvivesInterleavedFires)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // Two waves at the same instant with fires in between: the second
+    // wave must still run strictly after the first.
+    for (int i = 0; i < 16; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    q.schedule(50, [&] {
+        for (int i = 16; i < 32; ++i)
+            q.schedule(100, [&order, i] { order.push_back(i); });
+    });
+    while (!q.empty())
+        q.runNext();
+    std::vector<int> expect(32);
+    for (int i = 0; i < 32; ++i)
+        expect[static_cast<std::size_t>(i)] = i;
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueueStress, CancelHeavyCompactionKeepsOrderAndHandles)
+{
+    // Arm far more events than survive — the hedge-timer pattern that
+    // triggers eager compaction — and check order and handle safety.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventHandle> cancelled;
+    std::vector<EventHandle> kept;
+    std::vector<int> keptIds;
+    for (int i = 0; i < 4096; ++i) {
+        EventHandle h =
+            q.schedule(i / 4, [&order, i] { order.push_back(i); });
+        if (i % 16 == 0) {
+            kept.push_back(h);
+            keptIds.push_back(i);
+        } else {
+            cancelled.push_back(h);
+        }
+    }
+    for (const EventHandle &h : cancelled)
+        ASSERT_TRUE(q.cancel(h));
+    EXPECT_EQ(q.size(), kept.size());
+    for (const EventHandle &h : kept)
+        ASSERT_TRUE(q.pending(h));
+    for (const EventHandle &h : cancelled)
+        ASSERT_FALSE(q.pending(h));
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, keptIds);
+}
+
+TEST(EventQueueStress, CancelEverythingCompactsToEmpty)
+{
+    // Compaction with zero survivors: the queue must end up empty and
+    // stay usable (guards the heapify-on-empty edge).
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 500; ++i)
+        handles.push_back(q.schedule(i, [] {}));
+    for (const EventHandle &h : handles)
+        ASSERT_TRUE(q.cancel(h));
+    EXPECT_TRUE(q.empty());
+    int hits = 0;
+    q.schedule(3, [&hits] { ++hits; });
+    EXPECT_EQ(q.runNext(), 3);
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueueStress, ClearReleasesSlotStorage)
+{
+    EventQueue q;
+    for (int i = 0; i < 10000; ++i)
+        q.schedule(i, [] {});
+    EXPECT_GE(q.slotCapacity(), 10000u);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    // The high-water-mark callback storage is gone, not just unused —
+    // a sweep tearing down a big run must not pin it across cells.
+    EXPECT_EQ(q.slotCapacity(), 0u);
+    // And the queue is immediately reusable.
+    int hits = 0;
+    q.schedule(5, [&hits] { ++hits; });
+    EXPECT_EQ(q.runNext(), 5);
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueueStress, ClearInvalidatesOldHandles)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    q.clear();
+    EXPECT_FALSE(q.pending(h));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+} // namespace
+} // namespace tpv

@@ -1,0 +1,137 @@
+/** @file Unit tests for InplaceFunction / InplaceCallback / heapWrap. */
+
+#include "sim/inline_function.hh"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace tpv {
+namespace {
+
+TEST(InplaceCallback, DefaultIsEmpty)
+{
+    InplaceCallback<64> cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    EXPECT_TRUE(cb == nullptr);
+}
+
+TEST(InplaceCallback, NullptrConstructionAndAssignment)
+{
+    InplaceCallback<64> cb = nullptr;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    int hits = 0;
+    cb = [&hits] { ++hits; };
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb = nullptr;
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InplaceCallback, InvokesStoredTarget)
+{
+    int hits = 0;
+    InplaceCallback<64> cb([&hits] { ++hits; });
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, CapturesStateByValue)
+{
+    int out = 0;
+    int seed = 41;
+    InplaceCallback<64> cb([seed, &out] { out = seed + 1; });
+    seed = 0;
+    cb();
+    EXPECT_EQ(out, 42);
+}
+
+TEST(InplaceCallback, MoveTransfersTarget)
+{
+    int hits = 0;
+    InplaceCallback<64> a([&hits] { ++hits; });
+    InplaceCallback<64> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InplaceCallback<64> c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, MoveOnlyCapturesWork)
+{
+    auto p = std::make_unique<int>(7);
+    int out = 0;
+    InplaceCallback<64> cb([p = std::move(p), &out] { out = *p; });
+    InplaceCallback<64> moved(std::move(cb));
+    moved();
+    EXPECT_EQ(out, 7);
+}
+
+TEST(InplaceCallback, DestructorRunsCaptureDtorsExactlyOnce)
+{
+    auto counter = std::make_shared<int>(0);
+    EXPECT_EQ(counter.use_count(), 1);
+    {
+        InplaceCallback<64> cb([counter] { ++*counter; });
+        EXPECT_EQ(counter.use_count(), 2);
+        InplaceCallback<64> moved(std::move(cb));
+        // The capture relocated; no extra copy survives in the source.
+        EXPECT_EQ(counter.use_count(), 2);
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+    EXPECT_EQ(*counter, 0);
+}
+
+TEST(InplaceCallback, ResetDestroysTarget)
+{
+    auto counter = std::make_shared<int>(0);
+    InplaceCallback<64> cb([counter] {});
+    EXPECT_EQ(counter.use_count(), 2);
+    cb.reset();
+    EXPECT_EQ(counter.use_count(), 1);
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InplaceFunction, NonVoidReturn)
+{
+    InplaceFunction<int, 24> f([] { return 17; });
+    EXPECT_EQ(f(), 17);
+}
+
+TEST(InplaceCallback, HeapWrapBoxesOversizedCaptures)
+{
+    // 3x the inline budget: would be a compile error without boxing.
+    struct Big
+    {
+        char payload[192] = {};
+    };
+    Big big;
+    big.payload[0] = 1;
+    int out = 0;
+    InplaceCallback<64> cb =
+        heapWrap([big, &out] { out = big.payload[0]; });
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb();
+    EXPECT_EQ(out, 1);
+}
+
+TEST(InplaceCallback, SelfMoveAssignIsSafe)
+{
+    int hits = 0;
+    InplaceCallback<64> cb([&hits] { ++hits; });
+    InplaceCallback<64> &alias = cb;
+    cb = std::move(alias);
+    ASSERT_TRUE(static_cast<bool>(cb));
+    cb();
+    EXPECT_EQ(hits, 1);
+}
+
+} // namespace
+} // namespace tpv

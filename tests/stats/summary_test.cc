@@ -105,6 +105,43 @@ TEST(Descriptive, SortedDoesNotMutateInput)
     EXPECT_EQ(ys, (std::vector<double>{1, 2, 3}));
 }
 
+TEST(Descriptive, SortedViewMatchesFreeFunctions)
+{
+    std::vector<double> xs{5, 1, 9, 3, 7, 2, 8, 4, 6, 10};
+    const std::vector<double> ys = sorted(xs);
+    SortedView view(ys);
+    EXPECT_EQ(view.size(), xs.size());
+    EXPECT_DOUBLE_EQ(view.min(), minValue(xs));
+    EXPECT_DOUBLE_EQ(view.max(), maxValue(xs));
+    EXPECT_DOUBLE_EQ(view.median(), median(xs));
+    for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(view.percentile(p), percentile(xs, p));
+}
+
+TEST(Descriptive, SummaryOfSortedMatchesSummaryOf)
+{
+    std::vector<double> xs{5, 1, 9, 3, 7, 2, 8, 4, 6, 10};
+    const Summary a = Summary::of(xs);
+    const Summary b = Summary::ofSorted(sorted(xs));
+    EXPECT_DOUBLE_EQ(a.mean, b.mean);
+    EXPECT_DOUBLE_EQ(a.stdev, b.stdev);
+    EXPECT_DOUBLE_EQ(a.median, b.median);
+    EXPECT_DOUBLE_EQ(a.p90, b.p90);
+    EXPECT_DOUBLE_EQ(a.p95, b.p95);
+    EXPECT_DOUBLE_EQ(a.p99, b.p99);
+}
+
+TEST(Descriptive, TrimmedMeanDropsTails)
+{
+    // 10% trim on 10 samples drops exactly the min and the max.
+    std::vector<double> xs{1000, 2, 3, 4, 5, 6, 7, 8, 9, -1000};
+    EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.10), 5.5);
+    // Zero trim is the plain mean.
+    EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.0), mean(xs));
+    // The floor: trimming less than one sample's worth drops nothing.
+    EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.05), mean(xs));
+}
+
 /** Percentile must be monotone in p — property sweep. */
 class PercentileMonotone : public ::testing::TestWithParam<int>
 {
