@@ -159,6 +159,35 @@ simulatedRunEvents(int runs)
     return static_cast<double>(events) / secondsSince(t0);
 }
 
+/**
+ * Fan-out-heavy (hedged HDSearch) runs: allocations per simulated
+ * event. This tracks the Fanout RpcContext pooling — contexts ride a
+ * SlotPool with the slot index in the sub-request id, so a query
+ * costs no map node and no vector growth once pools reach their
+ * high-water mark. Remaining allocations are per-run setup (machine
+ * and tier construction), which amortises over the events.
+ */
+double
+fanoutRunAllocsPerEvent(int runs, double *eventsPerSec)
+{
+    auto cfg = core::ExperimentConfig::forHdSearch(20000);
+    cfg.gen.warmup = msec(10);
+    cfg.gen.duration = msec(100);
+    core::applyTopology(cfg, svc::TopologyShape{4, 2, usec(300)});
+    cfg.seed = 1;
+    (void)core::runOnce(cfg); // warm executor/static state
+    std::uint64_t events = 0;
+    const std::uint64_t allocs0 = g_allocs.load();
+    const auto t0 = Clock::now();
+    for (int i = 0; i < runs; ++i) {
+        cfg.seed = static_cast<std::uint64_t>(i) + 2;
+        events += core::runOnce(cfg).events;
+    }
+    *eventsPerSec = static_cast<double>(events) / secondsSince(t0);
+    return static_cast<double>(g_allocs.load() - allocs0) /
+           static_cast<double>(events);
+}
+
 } // namespace
 
 int
@@ -172,6 +201,8 @@ main()
     const double batch = batchMessageEvents(2000, 1024);
     const double cancel = scheduleCancelEvents(500, 4096);
     const double run = simulatedRunEvents(5);
+    double fanoutRun = 0;
+    const double fanoutAllocs = fanoutRunAllocsPerEvent(4, &fanoutRun);
 
     std::printf("  %-34s %10.2f Mev/s\n",
                 "steady-state Message schedule/fire", steady / 1e6);
@@ -180,6 +211,10 @@ main()
     std::printf("  %-34s %10.2f Mev/s\n", "schedule/cancel (hedge shape)",
                 cancel / 1e6);
     std::printf("  %-34s %10.2f Mev/s\n", "simulated memcached run", run / 1e6);
+    std::printf("  %-34s %10.2f Mev/s\n", "hedged HDSearch run",
+                fanoutRun / 1e6);
+    std::printf("  %-34s %10.4f\n", "HDSearch allocs/event (setup incl)",
+                fanoutAllocs);
     std::printf("  %-34s %10llu\n", "steady-state heap allocations",
                 static_cast<unsigned long long>(steadyAllocs));
 
@@ -190,6 +225,9 @@ main()
             {"batch_message_events_per_sec", batch, "events/s"},
             {"schedule_cancel_events_per_sec", cancel, "events/s"},
             {"memcached_run_events_per_sec", run, "events/s"},
+            {"hdsearch_run_events_per_sec", fanoutRun, "events/s"},
+            {"hdsearch_run_allocs_per_event", fanoutAllocs,
+             "allocs/event"},
             {"steady_state_allocs", static_cast<double>(steadyAllocs),
              "allocs"},
         });

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Replica-failure example: measuring failover instead of assuming it.
+ *
+ * A 4-shard HDSearch cluster runs on 3 bucket replicas when one of
+ * them is killed mid-run and restarted 40 ms later. Four policies
+ * face the same outage: no hedging (crash-triggered re-issue only),
+ * a fixed 400us hedge, an adaptive hedge pinned to the observed p95
+ * of shard replies, and tied requests (two copies up front, loser
+ * cancelled before it runs). The fault plan is part of the
+ * ExperimentConfig, so every repetition replays the same seeded
+ * outage — run it twice and the numbers are bit-identical.
+ *
+ *   $ ./build/examples/replica_failure
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/runner.hh"
+#include "fault/fault.hh"
+#include "svc/topology.hh"
+
+using namespace tpv;
+
+int
+main()
+{
+    core::RunnerOptions opt;
+    opt.runs = 8;
+
+    struct Policy
+    {
+        const char *name;
+        svc::TopologyShape shape;
+    };
+    const std::vector<Policy> policies = {
+        {"no-hedge", {4, 3, 0, svc::HedgePolicy::None}},
+        {"fixed-400us", {4, 3, usec(400), svc::HedgePolicy::Fixed}},
+        {"adaptive-p95", {4, 3, usec(400), svc::HedgePolicy::Adaptive}},
+        {"tied", {4, 3, 0, svc::HedgePolicy::Tied}},
+    };
+
+    // Kill bucket replica 0 from t=60ms to t=100ms (the measured
+    // window opens at 30ms and closes at 330ms). The failure is
+    // silent: the health-check detector flags the replica 10ms in,
+    // and only then do plain sends route around it and outstanding
+    // sub-requests get re-issued.
+    const auto outage =
+        fault::FaultPlan::replicaKill("hds-bucket", 0, msec(60),
+                                      msec(40), msec(10));
+
+    std::vector<core::ExperimentConfig> cfgs;
+    for (const Policy &p : policies) {
+        for (int faulty = 0; faulty < 2; ++faulty) {
+            auto cfg = core::ExperimentConfig::forHdSearch(1000);
+            cfg.gen.warmup = msec(30);
+            cfg.gen.duration = msec(300);
+            cfg.hdsearch.bucketSd = cfg.hdsearch.bucketMean;
+            core::applyTopology(cfg, p.shape);
+            if (faulty)
+                cfg.faultPlan = outage;
+            cfgs.push_back(std::move(cfg));
+        }
+    }
+    const auto results = core::runManyBatch(cfgs, opt);
+
+    std::printf("HDSearch @ 1000 QPS, 4 shards x 3 replicas; kill "
+                "replica 0 @60ms for 40ms (%s)\n\n",
+                outage.label().c_str());
+    std::printf("%-14s %12s %12s %8s %12s %10s\n", "policy",
+                "p99 healthy", "p99 faulted", "ratio", "failover/run",
+                "lost/run");
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const auto &healthy = results[2 * i];
+        const auto &faulted = results[2 * i + 1];
+        double failover = 0, lost = 0;
+        for (const auto &run : faulted.runs) {
+            failover +=
+                static_cast<double>(run.service.requestsFailedOver);
+            lost += static_cast<double>(run.service.requestsLost);
+        }
+        const auto runsN = static_cast<double>(faulted.runs.size());
+        std::printf("%-14s %12.1f %12.1f %8.2f %12.1f %10.1f\n",
+                    policies[i].name, healthy.medianP99(),
+                    faulted.medianP99(),
+                    faulted.medianP99() / healthy.medianP99(),
+                    failover / runsN, lost / runsN);
+    }
+
+    std::printf(
+        "\nThe no-hedge baseline eats the full outage: every query "
+        "whose shard landed on\nthe dead replica waits for the "
+        "crash-triggered re-issue. Hedged policies mask\nmost of it — "
+        "the hedge timer (or the tied twin) reaches a live replica "
+        "without\nwaiting for failure detection. requestsFailedOver "
+        "counts the re-issues; the\nfault windows come from the run "
+        "seed, so the outage replays identically at any\n"
+        "TPV_PARALLEL width.\n");
+    return 0;
+}

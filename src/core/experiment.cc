@@ -109,6 +109,11 @@ applyTopology(ExperimentConfig &cfg, const svc::TopologyShape &shape)
     cfg.hdsearch.fanout = shape.shards;
     cfg.hdsearch.replicas = shape.replicas;
     cfg.hdsearch.hedgeDelay = shape.hedgeDelay;
+    cfg.hdsearch.hedgePolicy = shape.policy;
+    cfg.memcached.shards = shape.shards;
+    cfg.memcached.replicas = shape.replicas;
+    cfg.memcached.hedgeDelay = shape.hedgeDelay;
+    cfg.memcached.hedgePolicy = shape.policy;
 }
 
 namespace {
@@ -161,14 +166,23 @@ runOnce(const ExperimentConfig &cfg)
     std::unique_ptr<hw::Machine> serverMachine;
     std::unique_ptr<net::Endpoint> service;
     std::function<const svc::ServiceStats &()> serviceStats;
+    svc::ServiceGraph *serviceGraph = nullptr;
     auto adopt = [&](auto srv) {
         serviceStats = [s = srv.get()]() -> const svc::ServiceStats & {
             return s->stats();
         };
+        serviceGraph = &srv->graph();
         service = std::move(srv);
     };
     switch (cfg.workload) {
       case WorkloadKind::Memcached:
+        if (cfg.memcached.shards > 1 || cfg.memcached.replicas > 1) {
+            // Widened shape: the key-hash-routed cluster.
+            adopt(std::make_unique<svc::MemcachedCluster>(
+                sim, cfg.server, serverToClient, gen, rootRng.fork(),
+                cfg.memcached));
+            break;
+        }
         serverMachine = std::make_unique<hw::Machine>(
             sim, cfg.server, "server", rootRng.u64());
         adopt(std::make_unique<svc::MemcachedServer>(
@@ -199,7 +213,20 @@ runOnce(const ExperimentConfig &cfg)
     // Run the measured window, then drain in-flight requests without
     // accepting new samples (the recorder window is already closed).
     const Time drain = msec(50);
-    sim.runUntil(gen.windowEnd() + drain);
+    const Time horizon = gen.windowEnd() + drain;
+
+    // Fault injection: armed only for a non-empty plan, so healthy
+    // runs consume no extra randomness and stay bit-identical to
+    // pre-fault builds. The injector outlives runUntil() — its
+    // scheduled window events call back into it.
+    std::unique_ptr<fault::Injector> injector;
+    if (!cfg.faultPlan.empty()) {
+        injector = std::make_unique<fault::Injector>(
+            sim, *serviceGraph, cfg.faultPlan, rootRng.fork());
+        injector->arm(horizon);
+    }
+
+    sim.runUntil(horizon);
 
     RunResult out;
     out.latency = gen.recorder().latencySummary();

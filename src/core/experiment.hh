@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault.hh"
 #include "hw/config.hh"
 #include "hw/machine.hh"
 #include "loadgen/params.hh"
@@ -57,6 +58,14 @@ struct ExperimentConfig
      * core::sweepTopologies().
      */
     svc::TopologyShape topology;
+    /**
+     * Faults injected into the service during the run (empty = the
+     * healthy baseline, bit-identical to pre-fault builds). Windows
+     * are in simulated run time (0 = run start); stochastic windows
+     * draw from a run-seed-derived stream. Sweep this axis with
+     * core::sweepFaultPlans().
+     */
+    fault::FaultPlan faultPlan;
     std::uint64_t seed = 1;
 
     /** Short human-readable tag for reports ("LP-SMToff"). */
@@ -84,10 +93,12 @@ struct ExperimentConfig
 };
 
 /**
- * Apply a topology shape to @p cfg: shard count, replica count and
- * hedge delay land on the workload's scatter-gather parameters (the
- * HDSearch fan-out today; future sharded services pick them up here).
- * The shape is also recorded in cfg.topology for reporting.
+ * Apply a topology shape to @p cfg: shard count, replica count,
+ * hedge delay and hedging policy land on the workload's
+ * scatter-gather parameters — the HDSearch fan-out and the sharded
+ * Memcached cluster (which is selected whenever the shape widens
+ * beyond 1 shard x 1 replica). The shape is also recorded in
+ * cfg.topology for reporting.
  */
 void applyTopology(ExperimentConfig &cfg,
                    const svc::TopologyShape &shape);

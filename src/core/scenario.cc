@@ -21,9 +21,15 @@ Scenario::label() const
         out += toString(loadShape);
     }
     if (topology.shards > 1 || topology.replicas > 1 ||
-        topology.hedgeDelay > 0) {
+        topology.hedgeDelay > 0 ||
+        (topology.policy != svc::HedgePolicy::Auto &&
+         topology.policy != svc::HedgePolicy::None)) {
         out += ", topo ";
         out += topology.label();
+    }
+    if (!faultPlan.empty()) {
+        out += ", fault ";
+        out += faultPlan.label();
     }
     return out;
 }
@@ -93,6 +99,34 @@ topologyScenarios()
             Scenario s = base;
             s.topology = shape;
             s.sections = "topology extension";
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+std::vector<Scenario>
+faultScenarios()
+{
+    // A replicated, adaptively hedged shape that every fault plan can
+    // exercise: kills need a backup, hedging needs a policy to react
+    // with.
+    const svc::TopologyShape shape{4, 3, usec(400),
+                                   svc::HedgePolicy::Adaptive};
+    const std::vector<fault::FaultPlan> plans = {
+        fault::FaultPlan::replicaKill("hds-bucket", 0, msec(20),
+                                      msec(40)),
+        fault::FaultPlan::replicaSlowdown("hds-bucket", 0, 8.0,
+                                          msec(20), msec(40)),
+        fault::FaultPlan::pause("hds-bucket", 0, msec(20), msec(5)),
+    };
+    std::vector<Scenario> out;
+    for (const Scenario &base : tableIIIScenarios()) {
+        for (const fault::FaultPlan &plan : plans) {
+            Scenario s = base;
+            s.topology = shape;
+            s.faultPlan = plan;
+            s.sections = "fault extension";
             out.push_back(std::move(s));
         }
     }

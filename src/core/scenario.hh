@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "loadgen/load_profile.hh"
 #include "loadgen/params.hh"
 #include "sim/time.hh"
@@ -45,6 +46,14 @@ struct Scenario
      * each row under sharded, replicated, and hedged clusters.
      */
     svc::TopologyShape topology;
+    /**
+     * Faults injected during the run. The paper's rows all run
+     * healthy (an empty plan); the fault extensions re-evaluate each
+     * row under replica kills, slowdowns and stop-the-world pauses —
+     * the transient variability sources whose tails the measurement
+     * methodology is supposed to survive.
+     */
+    fault::FaultPlan faultPlan;
 
     /** Human-readable row label. */
     std::string label() const;
@@ -80,6 +89,18 @@ std::vector<Scenario> nonstationaryScenarios();
  * measurement error becomes visible again.
  */
 std::vector<Scenario> topologyScenarios();
+
+/**
+ * Table III's rows crossed with representative fault plans on a
+ * replicated, hedged topology: a mid-run replica kill (with
+ * restart), a replica pinned slow, and a stop-the-world pause. Fault
+ * windows stretch response times far beyond the client-side
+ * overheads — which looks like it should wash out client
+ * configuration effects, except that hedged recovery pulls most
+ * requests back into the small-response regime where the pitfalls
+ * return.
+ */
+std::vector<Scenario> faultScenarios();
 
 /**
  * Classify an arbitrary setup the way Table III would: services with

@@ -125,6 +125,31 @@ sweepTopologies(const std::vector<std::string> &configs,
 }
 
 StudyGrid
+sweepFaultPlans(const std::vector<std::string> &configs,
+                const std::vector<fault::FaultPlan> &plans,
+                const FaultConfigFactory &factory,
+                const RunnerOptions &opt,
+                const std::function<void(const StudyCell &)> &progress)
+{
+    StudyGrid grid;
+    std::vector<ExperimentConfig> cellCfgs;
+    for (const std::string &config : configs) {
+        for (const fault::FaultPlan &plan : plans) {
+            ExperimentConfig cfg = factory(config, plan);
+            cfg.faultPlan = plan;
+            StudyCell cell;
+            cell.config = config + "/" + plan.label();
+            cell.qps = cfg.gen.qps;
+            grid.cells.push_back(std::move(cell));
+            cellCfgs.push_back(std::move(cfg));
+        }
+    }
+
+    runGridCells(grid, cellCfgs, opt, progress);
+    return grid;
+}
+
+StudyGrid
 sweepProfiles(const std::vector<std::string> &configs,
               const std::vector<loadgen::LoadProfileParams> &profiles,
               const ProfileConfigFactory &factory,

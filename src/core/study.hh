@@ -81,6 +81,30 @@ sweepTopologies(const std::vector<std::string> &configs,
                 const std::function<void(const StudyCell &)> &progress =
                     nullptr);
 
+/** Builds an ExperimentConfig for a (label, fault plan) pair. */
+using FaultConfigFactory = std::function<ExperimentConfig(
+    const std::string &label, const fault::FaultPlan &plan)>;
+
+/**
+ * Run the grid of configurations x fault plans: the swept axis is
+ * *what breaks* during the run (replica kills, slowdowns, link
+ * degradation, pauses — or the empty healthy baseline) at a fixed
+ * load and topology. Cells are labelled "<config>/<plan.label()>"
+ * (e.g. "HP/kill-r0@30ms", "HP/none"). Fault windows materialise per
+ * repetition from the run seed and execution goes through the same
+ * flat task bag, so faulty grids stay bit-identical at any
+ * parallelism — the golden-determinism guarantee extends to failure
+ * studies. Compose with applyTopology() in the factory to cross
+ * topology x fault plan in one study.
+ */
+StudyGrid
+sweepFaultPlans(const std::vector<std::string> &configs,
+                const std::vector<fault::FaultPlan> &plans,
+                const FaultConfigFactory &factory,
+                const RunnerOptions &opt,
+                const std::function<void(const StudyCell &)> &progress =
+                    nullptr);
+
 /** Builds an ExperimentConfig for a (label, load profile) pair. */
 using ProfileConfigFactory = std::function<ExperimentConfig(
     const std::string &label, const loadgen::LoadProfileParams &profile)>;

@@ -1,0 +1,356 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/rate_schedule.hh"
+
+namespace tpv {
+namespace fault {
+
+namespace {
+
+/** Compact duration tag for labels: "30ms", "250us", "1500ns". */
+std::string
+compactTime(Time t)
+{
+    if (t % kMillisecond == 0)
+        return std::to_string(t / kMillisecond) + "ms";
+    if (t % kMicrosecond == 0)
+        return std::to_string(t / kMicrosecond) + "us";
+    return std::to_string(t) + "ns";
+}
+
+} // namespace
+
+const char *
+toString(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::ReplicaCrash:
+        return "kill";
+      case FaultKind::ReplicaSlowdown:
+        return "slow";
+      case FaultKind::LinkDegrade:
+        return "link";
+      case FaultKind::Pause:
+        return "pause";
+    }
+    return "?";
+}
+
+std::string
+FaultSpec::label() const
+{
+    std::string out = toString(kind);
+    if (kind == FaultKind::ReplicaSlowdown) {
+        char factor[32];
+        std::snprintf(factor, sizeof factor, "%g", slowFactor);
+        out += factor;
+        out += 'x';
+    }
+    if (kind != FaultKind::LinkDegrade) {
+        out += '-';
+        if (replica < 0) {
+            out += "all";
+        } else {
+            out += 'r';
+            out += std::to_string(replica);
+        }
+    }
+    if (mttf > 0) {
+        out += "~";
+        out += compactTime(mttf);
+        out += '/';
+        out += compactTime(mttr);
+        return out;
+    }
+    out += '@';
+    out += compactTime(start);
+    if (duration > 0) {
+        out += '+';
+        out += compactTime(duration);
+    }
+    return out;
+}
+
+std::string
+FaultPlan::label() const
+{
+    if (faults.empty())
+        return "none";
+    std::string out;
+    for (const FaultSpec &f : faults) {
+        if (!out.empty())
+            out += '+';
+        out += f.label();
+    }
+    return out;
+}
+
+FaultPlan &
+FaultPlan::add(FaultSpec spec)
+{
+    faults.push_back(std::move(spec));
+    return *this;
+}
+
+FaultPlan
+FaultPlan::replicaKill(std::string tier, int replica, Time start,
+                       Time duration, Time detectDelay)
+{
+    FaultSpec s;
+    s.kind = FaultKind::ReplicaCrash;
+    s.tier = std::move(tier);
+    s.replica = replica;
+    s.start = start;
+    s.duration = duration;
+    s.detectDelay = detectDelay;
+    return FaultPlan{}.add(std::move(s));
+}
+
+FaultPlan
+FaultPlan::replicaSlowdown(std::string tier, int replica, double factor,
+                           Time start, Time duration)
+{
+    FaultSpec s;
+    s.kind = FaultKind::ReplicaSlowdown;
+    s.tier = std::move(tier);
+    s.replica = replica;
+    s.slowFactor = factor;
+    s.start = start;
+    s.duration = duration;
+    return FaultPlan{}.add(std::move(s));
+}
+
+FaultPlan
+FaultPlan::linkDegrade(Time addedLatency, double lossFraction, Time start,
+                       Time duration)
+{
+    FaultSpec s;
+    s.kind = FaultKind::LinkDegrade;
+    s.addedLatency = addedLatency;
+    s.lossFraction = lossFraction;
+    s.start = start;
+    s.duration = duration;
+    return FaultPlan{}.add(std::move(s));
+}
+
+FaultPlan
+FaultPlan::pause(std::string tier, int replica, Time start, Time duration)
+{
+    FaultSpec s;
+    s.kind = FaultKind::Pause;
+    s.tier = std::move(tier);
+    s.replica = replica;
+    s.start = start;
+    s.duration = duration;
+    return FaultPlan{}.add(std::move(s));
+}
+
+FaultPlan
+FaultPlan::flaky(std::string tier, int replica, Time mttf, Time mttr)
+{
+    FaultSpec s;
+    s.kind = FaultKind::ReplicaCrash;
+    s.tier = std::move(tier);
+    s.replica = replica;
+    s.mttf = mttf;
+    s.mttr = mttr;
+    return FaultPlan{}.add(std::move(s));
+}
+
+Injector::Injector(Simulator &sim, svc::ServiceGraph &graph,
+                   FaultPlan plan, Rng rng)
+    : sim_(sim), graph_(graph), plan_(std::move(plan)), rng_(rng)
+{
+}
+
+std::vector<FaultWindow>
+Injector::materialise(const FaultSpec &spec, Time horizon, Rng &rng)
+{
+    std::vector<FaultWindow> out;
+    if (spec.mttf <= 0) {
+        const Time end = spec.duration > 0
+                             ? spec.start + spec.duration
+                             : horizon;
+        if (spec.start < end)
+            out.push_back(FaultWindow{spec.start, end});
+        return out;
+    }
+    TPV_ASSERT(spec.mttr > 0, "stochastic fault needs mttr > 0");
+    // Reuse the MMPP machinery: a two-level trajectory alternating
+    // healthy (0) and faulty (1) with exponential dwells, sampled
+    // deterministically from the run seed. Level-1 segments are the
+    // fault windows.
+    const RateSchedule traj = RateSchedule::markovModulated(
+        0.0, 1.0, spec.mttf, spec.mttr, horizon, rng);
+    const auto &segments = traj.segments();
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (segments[i].value < 0.5)
+            continue;
+        const Time start = segments[i].start;
+        const Time end =
+            i + 1 < segments.size() ? segments[i + 1].start : horizon;
+        if (start < end)
+            out.push_back(FaultWindow{start, end});
+    }
+    return out;
+}
+
+std::vector<int>
+Injector::targetReplicas(const FaultSpec &spec, svc::Tier &tier) const
+{
+    std::vector<int> out;
+    if (spec.replica >= 0) {
+        TPV_ASSERT(spec.replica < tier.replicaCount(),
+                   "fault targets replica ", spec.replica, " but tier '",
+                   spec.tier, "' has ", tier.replicaCount());
+        out.push_back(spec.replica);
+        return out;
+    }
+    for (int r = 0; r < tier.replicaCount(); ++r)
+        out.push_back(r);
+    return out;
+}
+
+void
+Injector::arm(Time horizon)
+{
+    TPV_ASSERT(!armed_, "injector armed twice");
+    armed_ = true;
+    const Time now = sim_.now();
+    for (const FaultSpec &spec : plan_.faults) {
+        for (const FaultWindow &w : materialise(spec, horizon, rng_)) {
+            FaultWindow clamped = w;
+            clamped.start = std::max(clamped.start, now);
+            // An explicit window may outlast the run: clamp so the
+            // end event fires (and pauseTime reflects the pause the
+            // run actually experienced).
+            clamped.end = std::min(w.end, horizon);
+            if (clamped.start >= clamped.end)
+                continue;
+            applyWindow(spec, clamped);
+            ++windowsArmed_;
+        }
+    }
+}
+
+void
+Injector::applyWindow(const FaultSpec &spec, const FaultWindow &w)
+{
+    // Capturing the spec pointer is safe: plan_ is owned by the
+    // injector, which outlives the run.
+    const FaultSpec *s = &spec;
+    sim_.at(w.start, [this, s] {
+        ++graph_.mutableStats().faultsInjected;
+        setActive(*s, true);
+    });
+    if (spec.kind == FaultKind::ReplicaCrash) {
+        // Failure detection is a separate event: only once it fires
+        // do senders suspect the replica and re-issue outstanding
+        // sub-requests. A crash that heals before detection was a
+        // blip nobody ever acted on.
+        const Time detectAt = w.start + spec.detectDelay;
+        if (detectAt < w.end)
+            sim_.at(detectAt, [this, s] { detect(*s); });
+    }
+    sim_.at(w.end, [this, s] { setActive(*s, false); });
+}
+
+void
+Injector::detect(const FaultSpec &spec)
+{
+    svc::Tier *tier = graph_.findTier(spec.tier);
+    TPV_ASSERT(tier != nullptr, "fault targets unknown tier '",
+               spec.tier, "'");
+    for (int r : targetReplicas(spec, *tier)) {
+        tier->setReplicaSuspected(r, true);
+        graph_.notifyReplicaDown(*tier, r);
+    }
+}
+
+bool
+Injector::engage(const void *target, int sub, FaultKind kind,
+                 bool active)
+{
+    const auto key =
+        std::make_tuple(target, sub, static_cast<int>(kind));
+    int &count = active_[key];
+    if (active)
+        return ++count == 1;
+    TPV_ASSERT(count > 0, "fault window end without a begin");
+    return --count == 0;
+}
+
+void
+Injector::setActive(const FaultSpec &spec, bool active)
+{
+    svc::ServiceStats &stats = graph_.mutableStats();
+    if (spec.kind == FaultKind::LinkDegrade) {
+        for (std::size_t i = 0; i < graph_.linkCount(); ++i) {
+            if (spec.link >= 0 &&
+                i != static_cast<std::size_t>(spec.link))
+                continue;
+            net::Link &link = graph_.link(i);
+            if (!engage(&link, 0, spec.kind, active))
+                continue; // another window still holds the fault
+            if (active) {
+                link.degrade(spec.addedLatency, spec.lossFraction,
+                             &stats.requestsLost);
+            } else {
+                link.clearDegrade();
+            }
+        }
+        return;
+    }
+
+    svc::Tier *tier = graph_.findTier(spec.tier);
+    TPV_ASSERT(tier != nullptr, "fault targets unknown tier '",
+               spec.tier, "'");
+    if (active) {
+        ++stats.tiers[static_cast<std::size_t>(tier->tierIndex())]
+              .faultsInjected;
+    }
+    for (int r : targetReplicas(spec, *tier)) {
+        // Overlapping windows of the same kind on one replica
+        // compose: engage on the first begin, revert on the last
+        // end. (Overlapping slowdowns keep the first factor.)
+        if (!engage(tier, r, spec.kind, active))
+            continue;
+        switch (spec.kind) {
+          case FaultKind::ReplicaCrash:
+            // The crash itself: detection (suspicion + re-issue of
+            // outstanding subs) is the separate detect() event,
+            // detectDelay later. The restart clears both states.
+            tier->setReplicaUp(r, !active);
+            if (!active)
+                tier->setReplicaSuspected(r, false);
+            break;
+          case FaultKind::ReplicaSlowdown:
+            tier->setReplicaSlowdown(r, active ? spec.slowFactor : 1.0);
+            break;
+          case FaultKind::Pause: {
+            // Accrue pauseTime per machine transition, so
+            // overlapping windows bill the freeze the machine
+            // actually experienced (once), and replica=-1 over N
+            // machines bills N machine-pauses — same as N specs.
+            hw::Machine &m = tier->machine(r);
+            if (active) {
+                frozenSince_[&m] = sim_.now();
+            } else {
+                stats.pauseTime += sim_.now() - frozenSince_[&m];
+            }
+            m.setFrozen(active);
+            break;
+          }
+          case FaultKind::LinkDegrade:
+            break; // handled above
+        }
+    }
+}
+
+} // namespace fault
+} // namespace tpv

@@ -24,7 +24,18 @@ HwThread::submit(Time nominalWork, Callback done)
 {
     TPV_ASSERT(nominalWork >= 0, "negative work submitted");
     queue_.push_back(Task{static_cast<double>(nominalWork),
-                          std::move(done)});
+                          std::move(done), kNoGuard});
+    core_.onThreadQueued(*this);
+}
+
+void
+HwThread::submitGuarded(Time nominalWork, Callback done, Guard guard)
+{
+    TPV_ASSERT(nominalWork >= 0, "negative work submitted");
+    TPV_ASSERT(static_cast<bool>(guard), "guarded submit needs a guard");
+    queue_.push_back(Task{static_cast<double>(nominalWork),
+                          std::move(done),
+                          guards_.acquire(std::move(guard))});
     core_.onThreadQueued(*this);
 }
 
@@ -59,16 +70,34 @@ HwThread::trySchedule()
         return;
     if (core_.power_ != Core::PowerState::Active)
         return;
-    Task task = queue_.pop_front();
-    running_ = true;
-    remaining_ = task.remaining;
-    workCompleted_ += static_cast<Time>(task.remaining);
-    currentDone_ = std::move(task.done);
-    lastUpdate_ = sim_.now();
-    // The run-state change re-clocks every thread on the core (SMT
-    // contention) and schedules this task's completion via
-    // applySpeed().
-    core_.onThreadRunChanged();
+    bool dropped = false;
+    while (!queue_.empty()) {
+        Task task = queue_.pop_front();
+        // A guarded task asks permission at the instant it would
+        // begin execution; a refusal abandons it before any work is
+        // spent (the tied-request cancel-before-run path).
+        if (task.guard != kNoGuard) {
+            Guard guard = guards_.take(task.guard);
+            if (!guard()) {
+                dropped = true;
+                continue;
+            }
+        }
+        running_ = true;
+        remaining_ = task.remaining;
+        workCompleted_ += static_cast<Time>(task.remaining);
+        currentDone_ = std::move(task.done);
+        lastUpdate_ = sim_.now();
+        // The run-state change re-clocks every thread on the core
+        // (SMT contention) and schedules this task's completion via
+        // applySpeed().
+        core_.onThreadRunChanged();
+        return;
+    }
+    // Every queued task was abandoned by its guard: the wake was for
+    // nothing, so let the core settle back into its idle state.
+    if (dropped)
+        core_.maybeEnterIdle();
 }
 
 void
@@ -208,7 +237,15 @@ Core::speedFor(const HwThread &t) const
         if (sibling.running())
             smtFactor = cfg_->smtThroughput;
     }
-    return freq_.speedFactor() * smtFactor;
+    double speed = freq_.speedFactor() * smtFactor;
+    // A frozen machine (stop-the-world pause: GC, SMI) makes no
+    // forward progress; speeds must stay positive, so in-flight work
+    // crawls at a factor that amounts to sub-nanosecond progress over
+    // any realistic pause window. Machine::setFrozen() re-clocks every
+    // thread when the window opens and closes.
+    if (machine_.frozen())
+        speed *= kFrozenSpeedFactor;
+    return speed;
 }
 
 void

@@ -56,6 +56,17 @@ class HwThread
     /** Fire-time dispatch-work thunk for sleepUntil(). */
     using DispatchFn = InplaceFunction<Time, 24>;
 
+    /**
+     * Start-time admission check for guarded submissions: evaluated
+     * at the instant the task reaches the head of the run queue and
+     * would begin execution. Returning false abandons the task —
+     * no service work is spent and the completion callback never
+     * fires. This is the mechanism behind tied requests ("cancel the
+     * loser before it runs"): the twin that dequeues first claims the
+     * request, the other's guard sees the claim and aborts.
+     */
+    using Guard = InplaceFunction<bool, 24>;
+
     HwThread(Simulator &sim, Core &core, int idx);
     HwThread(const HwThread &) = delete;
     HwThread &operator=(const HwThread &) = delete;
@@ -67,6 +78,13 @@ class HwThread
      * task reaches the head of the queue.
      */
     void submit(Time nominalWork, Callback done);
+
+    /**
+     * Guarded submission: like submit(), but @p guard is consulted
+     * when the task is about to start running. A false return drops
+     * the task (its completion callback is discarded unfired).
+     */
+    void submitGuarded(Time nominalWork, Callback done, Guard guard);
 
     /**
      * Timer-armed sleep: at absolute time @p when, run
@@ -122,10 +140,20 @@ class HwThread
   private:
     friend class Core;
 
+    /** Task::guard value meaning "no admission check". */
+    static constexpr std::uint32_t kNoGuard = UINT32_MAX;
+
     struct Task
     {
         double remaining = 0; // nominal ns
         Callback done;
+        /**
+         * Slot of the start-time admission check in guards_, or
+         * kNoGuard. Out-of-line so the (rare) guarded submission
+         * does not widen every run-queue slot by a full inline
+         * callable — the unguarded hot path pays one u32.
+         */
+        std::uint32_t guard = kNoGuard;
     };
 
     /** One pending sleepUntil(), parked until its timer fires. */
@@ -154,6 +182,8 @@ class HwThread
     /** Pending sleepUntil() records; the timer event captures a slot
      *  index, keeping the callback pair out of the event queue. */
     SlotPool<Sleep> sleeps_;
+    /** Parked admission checks of guarded submissions. */
+    SlotPool<Guard> guards_;
     bool running_ = false;
     double remaining_ = 0;
     Callback currentDone_;

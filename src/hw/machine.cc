@@ -97,6 +97,18 @@ Machine::uncorePenalty()
 }
 
 void
+Machine::setFrozen(bool frozen)
+{
+    if (frozen_ == frozen)
+        return;
+    frozen_ = frozen;
+    // Re-clock every thread: in-flight completions reschedule at the
+    // new (near-zero or restored) speed.
+    for (auto &c : cores_)
+        c->refreshSpeeds();
+}
+
+void
 Machine::onCoreActiveChanged(int delta)
 {
     activeCores_ += delta;

@@ -43,6 +43,14 @@ struct Message
     /** True for server -> client traffic. */
     bool isResponse = false;
     /**
+     * Tied sub-request: a twin copy was sent to another replica, and
+     * whichever copy starts executing first claims the request — the
+     * other is cancelled before it runs (Dean & Barroso's tied
+     * requests). Occupies padding: Message stays 64 bytes, which the
+     * inline-callback capture budgets depend on.
+     */
+    bool tied = false;
+    /**
      * Nominal service work the server spent producing this response;
      * lets an aggregator account the work of a discarded (hedged
      * loser) reply as duplicate.
@@ -62,6 +70,12 @@ struct Message
     /** When the server finished building this response. */
     Time serverDoneTime = 0;
 };
+
+// The HwThread::Callback budget (80 bytes) is sized for "a Message
+// plus an owner pointer"; growing Message past 64 bytes would break
+// every dispatch-path capture, so new fields must fit the padding.
+static_assert(sizeof(Message) <= 64, "Message grew past the inline "
+                                     "capture budget's assumption");
 
 /** Anything that can receive messages from a Link. */
 class Endpoint

@@ -141,6 +141,37 @@ class SlotPool
         return items_[idx];
     }
 
+    /**
+     * Claim a slot *without* assigning a value: the slot keeps
+     * whatever a previous occupant left behind, so element-internal
+     * buffers (vectors, strings) recycle their capacity instead of
+     * being freed and re-grown per acquire. The caller must
+     * re-initialise every field it reads. Pair with release().
+     */
+    std::uint32_t
+    acquireSlot()
+    {
+        if (!free_.empty()) {
+            const std::uint32_t idx = free_.back();
+            free_.pop_back();
+            return idx;
+        }
+        items_.emplace_back();
+        return static_cast<std::uint32_t>(items_.size() - 1);
+    }
+
+    /**
+     * Return a slot claimed with acquireSlot() to the free list. The
+     * parked value is *not* destroyed — its buffers stay allocated
+     * for the next occupant.
+     */
+    void
+    release(std::uint32_t idx)
+    {
+        TPV_ASSERT(idx < items_.size(), "slot pool index out of range");
+        free_.push_back(idx);
+    }
+
     /** Slots currently parked. */
     std::size_t
     inUse() const

@@ -1,0 +1,103 @@
+#include "stats/streaming_quantile.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace stats {
+
+StreamingQuantile::StreamingQuantile(double q) : q_(q)
+{
+    TPV_ASSERT(q > 0.0 && q < 1.0, "quantile must be in (0, 1): ", q);
+    increments_[0] = 0.0;
+    increments_[1] = q / 2.0;
+    increments_[2] = q;
+    increments_[3] = (1.0 + q) / 2.0;
+    increments_[4] = 1.0;
+    desired_[0] = 1.0;
+    desired_[1] = 1.0 + 2.0 * q;
+    desired_[2] = 1.0 + 4.0 * q;
+    desired_[3] = 3.0 + 2.0 * q;
+    desired_[4] = 5.0;
+}
+
+void
+StreamingQuantile::observe(double x)
+{
+    ++count_;
+    if (count_ <= 5) {
+        // Bootstrap: keep the first five observations sorted; they
+        // become the initial marker heights.
+        std::size_t i = static_cast<std::size_t>(count_ - 1);
+        heights_[i] = x;
+        for (; i > 0 && heights_[i - 1] > heights_[i]; --i)
+            std::swap(heights_[i - 1], heights_[i]);
+        return;
+    }
+
+    // Locate the cell the observation falls into; extremes clamp the
+    // end markers.
+    std::size_t k;
+    if (x < heights_[0]) {
+        heights_[0] = x;
+        k = 0;
+    } else if (x >= heights_[4]) {
+        heights_[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= heights_[k + 1])
+            ++k;
+    }
+
+    for (std::size_t i = k + 1; i < 5; ++i)
+        positions_[i] += 1.0;
+    for (std::size_t i = 0; i < 5; ++i)
+        desired_[i] += increments_[i];
+
+    // Adjust the three interior markers toward their desired ranks.
+    for (std::size_t i = 1; i <= 3; ++i) {
+        const double d = desired_[i] - positions_[i];
+        const double below = positions_[i] - positions_[i - 1];
+        const double above = positions_[i + 1] - positions_[i];
+        if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+            const double sign = d >= 1.0 ? 1.0 : -1.0;
+            // Piecewise-parabolic height prediction.
+            const double span = positions_[i + 1] - positions_[i - 1];
+            double candidate =
+                heights_[i] +
+                sign / span *
+                    ((below + sign) * (heights_[i + 1] - heights_[i]) /
+                         above +
+                     (above - sign) * (heights_[i] - heights_[i - 1]) /
+                         below);
+            if (candidate <= heights_[i - 1] ||
+                candidate >= heights_[i + 1]) {
+                // Parabola left the bracket: fall back to linear.
+                const std::size_t j =
+                    sign > 0 ? i + 1 : i - 1;
+                candidate = heights_[i] + sign *
+                                              (heights_[j] - heights_[i]) /
+                                              (positions_[j] - positions_[i]);
+            }
+            heights_[i] = candidate;
+            positions_[i] += sign;
+        }
+    }
+}
+
+double
+StreamingQuantile::estimate() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (count_ < 5) {
+        // Conservative upper-tail stand-in: the max seen so far.
+        return heights_[count_ - 1];
+    }
+    return heights_[2];
+}
+
+} // namespace stats
+} // namespace tpv

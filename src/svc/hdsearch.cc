@@ -45,6 +45,7 @@ HdSearchCluster::HdSearchCluster(Simulator &sim,
     f.shards = params_.fanout;
     f.replicas = params_.replicas;
     f.hedgeDelay = params_.hedgeDelay;
+    f.policy = params_.hedgePolicy;
     f.mergeWork = params_.midMergeWork;
     f.postWork = params_.midPostWork;
     f.link = params_.interLink;

@@ -42,6 +42,8 @@ struct HdSearchParams
     int replicas = 1;
     /** Hedge a shard's scan after this delay (0 = no hedging). */
     Time hedgeDelay = 0;
+    /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
+    HedgePolicy hedgePolicy = HedgePolicy::Auto;
     /** Midtier work before the fan-out (parse, LSH hash). */
     Time midPreWork = usec(40);
     /** Midtier work per returned shard result (merge). */
@@ -96,6 +98,9 @@ class HdSearchCluster : public net::Endpoint
 
     /** The scatter-gather edge (tests / diagnostics). */
     const Fanout &fanout() const { return *fanout_; }
+
+    /** The underlying graph (fault injection, diagnostics). */
+    ServiceGraph &graph() { return graph_; }
 
     /** This run's service-time environment factor. */
     double envFactor() const { return graph_.envFactor(); }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
 
 namespace tpv {
 namespace svc {
@@ -36,6 +40,45 @@ EtcModel::requestBytes(MemcachedOp op, std::uint32_t key,
     return overhead + key + value;
 }
 
+namespace {
+
+/**
+ * The memcached work model shared by the single-tier server and the
+ * sharded cluster's cache tier, so the two deployments stay provably
+ * identical: lognormal base time plus a per-byte cost of the
+ * ETC-sampled value (stored through @p valueBytes for the response
+ * size), SETs paying the store/LRU extra.
+ */
+Time
+etcServiceWork(const MemcachedParams &p, const net::Message &req,
+               std::uint32_t *valueBytes, Rng &rng)
+{
+    const auto base = static_cast<double>(p.baseServiceTime);
+    const auto sd = static_cast<double>(p.serviceTimeSd);
+    Time work = static_cast<Time>(rng.lognormalMeanSd(base, sd));
+
+    // The value is sampled at service time: GETs pay to read and copy
+    // it into the response; SETs pay to store it plus bookkeeping.
+    *valueBytes = p.etc.sampleValueBytes(rng);
+    work += static_cast<Time>(p.nsPerValueByte *
+                              static_cast<double>(*valueBytes));
+    if (static_cast<MemcachedOp>(req.kind) == MemcachedOp::Set)
+        work += p.setExtraTime;
+    return work;
+}
+
+/** Response size matching etcServiceWork's sampled value. */
+std::uint32_t
+etcResponseBytes(const MemcachedParams &p, const net::Message &req,
+                 std::uint32_t valueBytes)
+{
+    if (static_cast<MemcachedOp>(req.kind) == MemcachedOp::Get)
+        return p.responseOverhead + valueBytes;
+    return p.responseOverhead; // SET: status only
+}
+
+} // namespace
+
 MemcachedServer::MemcachedServer(Simulator &sim, hw::Machine &machine,
                                  net::Link &replyLink,
                                  net::Endpoint &client, Rng rng,
@@ -49,27 +92,96 @@ MemcachedServer::MemcachedServer(Simulator &sim, hw::Machine &machine,
 Time
 MemcachedServer::serviceWork(const net::Message &req, Rng &rng)
 {
-    const auto base = static_cast<double>(params_.baseServiceTime);
-    const auto sd = static_cast<double>(params_.serviceTimeSd);
-    Time work = static_cast<Time>(rng.lognormalMeanSd(base, sd));
-
-    // The value is sampled at service time: GETs pay to read and copy
-    // it into the response; SETs pay to store it plus bookkeeping.
-    lastValueBytes_ = params_.etc.sampleValueBytes(rng);
-    work += static_cast<Time>(params_.nsPerValueByte *
-                              static_cast<double>(lastValueBytes_));
-    if (static_cast<MemcachedOp>(req.kind) == MemcachedOp::Set)
-        work += params_.setExtraTime;
-    return work;
+    return etcServiceWork(params_, req, &lastValueBytes_, rng);
 }
 
 std::uint32_t
 MemcachedServer::responseBytes(const net::Message &req, Rng &rng)
 {
     (void)rng;
-    if (static_cast<MemcachedOp>(req.kind) == MemcachedOp::Get)
-        return params_.responseOverhead + lastValueBytes_;
-    return params_.responseOverhead; // SET: status only
+    return etcResponseBytes(params_, req, lastValueBytes_);
+}
+
+int
+MemcachedCluster::shardOf(std::uint64_t id, int shards)
+{
+    // SplitMix64 finaliser: the id stands in for the key, so the
+    // shard choice is uniform and deterministic per request.
+    std::uint64_t h = id + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return static_cast<int>(h % static_cast<std::uint64_t>(shards));
+}
+
+MemcachedCluster::MemcachedCluster(Simulator &sim,
+                                   const hw::HwConfig &serverCfg,
+                                   net::Link &replyLink,
+                                   net::Endpoint &client, Rng rng,
+                                   MemcachedParams params)
+    : params_(params),
+      graph_(sim, replyLink, client, rng, params.runVariability)
+{
+    TPV_ASSERT(params_.shards >= 1, "cluster needs at least one shard");
+    TPV_ASSERT(params_.replicas >= 1, "cluster needs a cache replica");
+
+    // mcrouter-style proxy: fixed parse + key-hash cost, not scaled
+    // by the environment factor (protocol work, not data work).
+    TierParams routerP;
+    routerP.name = "mc-router";
+    routerP.workers = params_.routerWorkers;
+    routerP.work = fixedWork(params_.routerWork);
+    routerP.envSensitive = false;
+    router_ = &graph_.addTier(graph_.addMachine(serverCfg, "mc-router"),
+                              std::move(routerP));
+
+    // The cache tier mirrors MemcachedServer's work model: lognormal
+    // base time plus a per-byte cost of the ETC-sampled value, SETs
+    // paying the store/LRU extra. The value size drawn at service
+    // time is shared with the response-size hook, like the
+    // single-tier server's lastValueBytes_.
+    auto lastValue = std::make_shared<std::uint32_t>(0);
+    const MemcachedParams p = params_;
+    TierParams cacheP;
+    cacheP.name = "mc-cache";
+    cacheP.workers = p.workers;
+    cacheP.requestBytes = p.subRequestBytes;
+    cacheP.work = [p, lastValue](const net::Message &req, Rng &r) {
+        return etcServiceWork(p, req, lastValue.get(), r);
+    };
+    cacheP.responseBytesFn = [p, lastValue](const net::Message &req,
+                                            Rng &) {
+        return etcResponseBytes(p, req, *lastValue);
+    };
+    cache_ = &graph_.addReplicatedTier(serverCfg, params_.replicas,
+                                       std::move(cacheP));
+
+    FanoutParams f;
+    f.shards = params_.shards;
+    f.replicas = params_.replicas;
+    f.hedgeDelay = params_.hedgeDelay;
+    f.policy = params_.hedgePolicy;
+    f.route = [shards = params_.shards](const net::Message &req) {
+        return shardOf(req.id, shards);
+    };
+    f.mergeWork = params_.routerMergeWork;
+    f.postWork = 0;
+    f.link = params_.interLink;
+    fanout_ = &graph_.addFanout(
+        *router_, *cache_, f, [this](const net::Message &req) {
+            // req.bytes carries the cache shard's reply size (the
+            // Fanout completion contract), so the client-facing
+            // response echoes the very reply the cache produced —
+            // GETs carry their own ETC-sampled value, exactly as on
+            // the single-tier server.
+            net::Message resp = req;
+            resp.isResponse = true;
+            graph_.respond(std::move(resp));
+        });
+
+    router_->setHandler(
+        [this](const net::Message &req, Time) { fanout_->scatter(req); });
+    graph_.setEntry(*router_);
 }
 
 } // namespace svc

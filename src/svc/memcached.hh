@@ -68,6 +68,30 @@ struct MemcachedParams
     /** Per-run environment factor sd on service times. */
     double runVariability = 0.025;
     EtcModel etc;
+
+    // ---- sharded-cluster shape (MemcachedCluster) ----
+    // The stock single-tier server is built while shards == 1 and
+    // replicas == 1; any wider shape routes through a mcrouter-style
+    // front tier that key-hashes each request to one cache shard.
+
+    /** Logical key-space shards (key-hash routed, not scattered). */
+    int shards = 1;
+    /** Cache machines backing the shards (hedges/failover targets). */
+    int replicas = 1;
+    /** Hedge a routed GET/SET after this delay (0 = off). */
+    Time hedgeDelay = 0;
+    /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
+    HedgePolicy hedgePolicy = HedgePolicy::Auto;
+    /** Router threads (mcrouter proxy pool). */
+    int routerWorkers = 4;
+    /** Router parse + key-hash cost per request. */
+    Time routerWork = usec(2);
+    /** Router cost to relay the shard's reply to the client. */
+    Time routerMergeWork = usec(1);
+    /** Wire size of a routed sub-request (header + typical key). */
+    std::uint32_t subRequestBytes = 64;
+    /** Router <-> cache hop. */
+    net::Link::Params interLink{};
 };
 
 /**
@@ -91,6 +115,55 @@ class MemcachedServer : public SingleTierServer
   private:
     MemcachedParams params_;
     std::uint32_t lastValueBytes_ = 0;
+};
+
+/**
+ * The sharded Memcached deployment: an mcrouter-style front tier that
+ * key-hashes every request to one cache shard, served by a replicated
+ * cache tier through a route-one Fanout — so hedging, tied requests
+ * and replica failover apply to a cache exactly as to a search
+ * fan-out. The wire model carries no key, so the request id stands in
+ * for the key hash (ids are uniform across the key space).
+ */
+class MemcachedCluster : public net::Endpoint
+{
+  public:
+    MemcachedCluster(Simulator &sim, const hw::HwConfig &serverCfg,
+                     net::Link &replyLink, net::Endpoint &client, Rng rng,
+                     MemcachedParams params = {});
+
+    /** Client request arrives at the router NIC. */
+    void onMessage(const net::Message &req) override
+    {
+        graph_.onMessage(req);
+    }
+
+    const ServiceStats &stats() const { return graph_.stats(); }
+    const MemcachedParams &params() const { return params_; }
+
+    /** The underlying graph (fault injection, diagnostics). */
+    ServiceGraph &graph() { return graph_; }
+
+    hw::Machine &router() { return router_->machine(); }
+
+    /** Cache machine of @p replica. */
+    hw::Machine &cache(int replica = 0)
+    {
+        return cache_->machine(replica);
+    }
+
+    /** The route-one edge (tests / diagnostics). */
+    const Fanout &fanout() const { return *fanout_; }
+
+    /** Deterministic key-hash shard for a request id. */
+    static int shardOf(std::uint64_t id, int shards);
+
+  private:
+    MemcachedParams params_;
+    ServiceGraph graph_;
+    Tier *router_;
+    Tier *cache_;
+    Fanout *fanout_;
 };
 
 } // namespace svc

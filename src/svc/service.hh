@@ -60,6 +60,9 @@ class SingleTierServer : public net::Endpoint
     /** Service counters. */
     const ServiceStats &stats() const { return graph_.stats(); }
 
+    /** The underlying graph (fault injection, diagnostics). */
+    ServiceGraph &graph() { return graph_; }
+
     /** Worker pool (tests / diagnostics). */
     WorkerPool &pool() { return tier_->pool(); }
 

@@ -87,6 +87,9 @@ class SocialNetworkApp : public net::Endpoint
     const SocialNetworkParams &params() const { return params_; }
     hw::Machine &machine() { return stages_.front()->machine(); }
 
+    /** The underlying graph (fault injection, diagnostics). */
+    ServiceGraph &graph() { return graph_; }
+
   private:
     SocialNetworkParams params_;
     ServiceGraph graph_;

@@ -31,6 +31,32 @@ class PortEndpoint : public net::Endpoint
 
 } // namespace
 
+const char *
+toString(HedgePolicy p)
+{
+    switch (p) {
+      case HedgePolicy::Auto:
+        return "auto";
+      case HedgePolicy::None:
+        return "none";
+      case HedgePolicy::Fixed:
+        return "fixed";
+      case HedgePolicy::Adaptive:
+        return "adaptive";
+      case HedgePolicy::Tied:
+        return "tied";
+    }
+    return "?";
+}
+
+HedgePolicy
+resolveHedgePolicy(HedgePolicy p, Time hedgeDelay)
+{
+    if (p != HedgePolicy::Auto)
+        return p;
+    return hedgeDelay > 0 ? HedgePolicy::Fixed : HedgePolicy::None;
+}
+
 std::string
 TopologyShape::label() const
 {
@@ -40,10 +66,24 @@ TopologyShape::label() const
         out += 'r';
         out += std::to_string(replicas);
     }
-    if (hedgeDelay > 0) {
+    const HedgePolicy resolved = resolveHedgePolicy(policy, hedgeDelay);
+    switch (resolved) {
+      case HedgePolicy::Auto:
+      case HedgePolicy::None:
+        break;
+      case HedgePolicy::Fixed:
         out += "+h";
         out += std::to_string(static_cast<long long>(toUsec(hedgeDelay)));
         out += "us";
+        break;
+      case HedgePolicy::Adaptive:
+        out += "+ah";
+        out += std::to_string(static_cast<long long>(toUsec(hedgeDelay)));
+        out += "us";
+        break;
+      case HedgePolicy::Tied:
+        out += "+tied";
+        break;
     }
     return out;
 }
@@ -104,12 +144,81 @@ Tier::instanceFor(const net::Message &msg)
 }
 
 void
+Tier::setReplicaUp(int replica, bool up)
+{
+    instances_.at(static_cast<std::size_t>(replica))->up = up;
+}
+
+bool
+Tier::replicaUp(int replica) const
+{
+    const auto idx = std::min<std::size_t>(
+        static_cast<std::size_t>(replica), instances_.size() - 1);
+    return instances_[idx]->up;
+}
+
+void
+Tier::setReplicaSuspected(int replica, bool suspect)
+{
+    instances_.at(static_cast<std::size_t>(replica))->suspected =
+        suspect;
+}
+
+bool
+Tier::replicaTrusted(int replica) const
+{
+    const auto idx = std::min<std::size_t>(
+        static_cast<std::size_t>(replica), instances_.size() - 1);
+    return !instances_[idx]->suspected;
+}
+
+void
+Tier::setReplicaSlowdown(int replica, double factor)
+{
+    TPV_ASSERT(factor > 0, "slowdown factor must be positive");
+    instances_.at(static_cast<std::size_t>(replica))->slowFactor = factor;
+}
+
+double
+Tier::replicaSlowdown(int replica) const
+{
+    return instances_.at(static_cast<std::size_t>(replica))->slowFactor;
+}
+
+int
+Tier::aliveReplica(int preferred) const
+{
+    const int n = static_cast<int>(instances_.size());
+    for (int i = 0; i < n; ++i) {
+        const int r = (preferred + i) % n;
+        if (!instances_[static_cast<std::size_t>(r)]->suspected)
+            return r;
+    }
+    return -1;
+}
+
+void
+Tier::countLost()
+{
+    ServiceStats &stats = graph_.mutableStats();
+    ++stats.requestsLost;
+    ++stats.tiers[static_cast<std::size_t>(tierIndex_)].requestsLost;
+}
+
+void
 Tier::onMessage(const net::Message &msg)
 {
+    // A crashed replica accepts no connections: the request dies on
+    // the wire, and recovery is the sender's business (fan-out
+    // failover, client timeout) — exactly as in a real cluster.
+    Instance &inst = instanceFor(msg);
+    if (!inst.up) {
+        countLost();
+        return;
+    }
     // Receive path: IRQ/softirq work on the connection's IRQ thread
     // (sibling hardware thread when SMT is on), then hand off to the
     // pinned worker.
-    Instance &inst = instanceFor(msg);
     inst.machine->deliverIrq(inst.pool.irqThreadIndex(msg.conn),
                              inst.machine->config().irqWork,
                              [this, msg] { dispatch(msg); });
@@ -118,19 +227,73 @@ Tier::onMessage(const net::Message &msg)
 void
 Tier::dispatch(const net::Message &msg)
 {
+    Instance &inst = instanceFor(msg);
+    if (!inst.up) {
+        // The replica died between IRQ and dispatch.
+        countLost();
+        return;
+    }
     Time work = params_.work(msg, graph_.rng());
     if (params_.envSensitive) {
         work = static_cast<Time>(graph_.envFactor() *
                                  static_cast<double>(work));
     }
-    graph_.mutableStats().serviceWorkDispatched += work;
-    instanceFor(msg).pool.serviceThread(msg.conn).submit(
-        work + params_.txWork, [this, msg, work] {
-            if (handler_)
-                handler_(msg, work);
-            else
-                graph_.respond(makeReply(msg, work));
-        });
+    if (inst.slowFactor != 1.0) {
+        work = static_cast<Time>(inst.slowFactor *
+                                 static_cast<double>(work));
+    }
+    ServiceStats &stats = graph_.mutableStats();
+    if (msg.tied && tieArbiter_) {
+        // Tied copy: admission is decided at execution start, so the
+        // work accounting moves into the completion (it only runs if
+        // this copy won the claim race). The guard re-checks replica
+        // liveness so a copy queued on a replica that dies before it
+        // runs can never claim the request and strand its twin.
+        inst.pool.serviceThread(msg.conn).submitGuarded(
+            work + params_.txWork,
+            [this, msg, work] {
+                ServiceStats &s = graph_.mutableStats();
+                s.serviceWorkDispatched += work;
+                TierBreakdown &tb =
+                    s.tiers[static_cast<std::size_t>(tierIndex_)];
+                ++tb.requestsDispatched;
+                tb.workDispatched += work;
+                completeService(msg, work);
+            },
+            // Capture order packs the guard into its 24-byte budget
+            // (8-byte members first, no alignment padding).
+            [this, parent = msg.parentId,
+             token = static_cast<std::uint32_t>(msg.id),
+             shard = msg.shard, replica = msg.replica] {
+                if (!replicaUp(replica))
+                    return false;
+                return tieArbiter_(token, parent, shard, replica);
+            });
+        return;
+    }
+    stats.serviceWorkDispatched += work;
+    TierBreakdown &tb =
+        stats.tiers[static_cast<std::size_t>(tierIndex_)];
+    ++tb.requestsDispatched;
+    tb.workDispatched += work;
+    inst.pool.serviceThread(msg.conn).submit(
+        work + params_.txWork,
+        [this, msg, work] { completeService(msg, work); });
+}
+
+void
+Tier::completeService(const net::Message &msg, Time work)
+{
+    if (!instanceFor(msg).up) {
+        // The replica died while the work was queued or running: the
+        // reply dies with it (in-flight requests error-complete).
+        countLost();
+        return;
+    }
+    if (handler_)
+        handler_(msg, work);
+    else
+        graph_.respond(makeReply(msg, work));
 }
 
 net::Message
@@ -148,25 +311,39 @@ Tier::makeReply(const net::Message &msg, Time work)
 Fanout::Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
                FanoutParams params, Complete onComplete)
     : graph_(graph), parent_(parent), child_(child),
-      params_(std::move(params)), onComplete_(std::move(onComplete)),
+      params_(std::move(params)),
+      policy_(resolveHedgePolicy(params_.policy, params_.hedgeDelay)),
+      onComplete_(std::move(onComplete)),
       toChild_(graph.addLink(params_.link)),
       toParent_(graph.addLink(params_.link)),
       mergePort_(std::make_unique<PortEndpoint>(
-          [this](const net::Message &m) { onReply(m); }))
+          [this](const net::Message &m) { onReply(m); })),
+      replyP95_(0.95)
 {
     TPV_ASSERT(params_.shards >= 1, "fanout needs at least one shard");
     TPV_ASSERT(params_.replicas >= 1, "fanout needs at least one replica");
-    // A hedge to the only replica would share the primary's worker
-    // queue and could never win — reject the degenerate shape instead
-    // of reporting meaningless hedge counters.
-    TPV_ASSERT(params_.hedgeDelay == 0 || params_.replicas >= 2,
-               "hedging needs a backup replica (replicas >= 2)");
+    // A duplicate to the only replica would share the primary's
+    // worker queue and could never win — reject the degenerate shape
+    // instead of reporting meaningless hedge/tie counters.
+    TPV_ASSERT(policy_ == HedgePolicy::None || params_.replicas >= 2,
+               "hedged and tied requests need a backup replica "
+               "(replicas >= 2)");
+    TPV_ASSERT(!timedHedging() || params_.hedgeDelay > 0,
+               "fixed/adaptive hedging needs a positive hedgeDelay "
+               "(adaptive uses it until the estimator warms up)");
     TPV_ASSERT(static_cast<bool>(onComplete_),
                "fanout needs a completion callback");
     // Child replies route through this fan-out's merge port.
     child_.setHandler([this](const net::Message &msg, Time work) {
         toParent_.send(child_.makeReply(msg, work), *mergePort_);
     });
+    if (policy_ == HedgePolicy::Tied) {
+        child_.setTieArbiter(
+            [this](std::uint32_t token, std::uint64_t parentId,
+                   std::uint16_t shard, std::uint16_t replica) {
+                return admitTied(token, parentId, shard, replica);
+            });
+    }
 }
 
 int
@@ -192,10 +369,15 @@ Fanout::hedgeReplica(std::uint64_t id, int shard, int replicas)
 }
 
 net::Message
-Fanout::makeSub(const net::Message &req, int shard, int replica) const
+Fanout::makeSub(const net::Message &req, std::uint32_t slot, int shard,
+                int replica, bool tied) const
 {
     net::Message sub;
-    sub.id = req.id;
+    // The sub-request id is this fan-out's context slot: the child
+    // echoes it, so the reply indexes straight into the pool — no
+    // map lookup, no per-query map node. The parent id disambiguates
+    // recycled slots.
+    sub.id = slot;
     sub.parentId = req.id;
     sub.shard = static_cast<std::uint16_t>(shard);
     // The replica field routes the sub-request to its tier instance;
@@ -205,91 +387,270 @@ Fanout::makeSub(const net::Message &req, int shard, int replica) const
     sub.conn = req.conn * static_cast<std::uint32_t>(params_.shards) +
                static_cast<std::uint32_t>(shard);
     sub.bytes = child_.params().requestBytes;
+    sub.tied = tied;
     sub.appSendTime = graph_.sim().now();
     return sub;
+}
+
+Fanout::RpcContext *
+Fanout::lookup(std::uint32_t slot, std::uint64_t parentId)
+{
+    if (slot >= pool_.capacity())
+        return nullptr;
+    RpcContext &call = pool_.at(slot);
+    if (!call.active || call.request.id != parentId)
+        return nullptr;
+    return &call;
+}
+
+int
+Fanout::routeLive(std::uint64_t id, int shard)
+{
+    const int primary = primaryReplica(id, shard, params_.replicas);
+    if (child_.replicaTrusted(primary))
+        return primary;
+    const int alive = child_.aliveReplica(primary + 1);
+    if (alive >= 0) {
+        // Detected-dead primary: route around it, as a client whose
+        // failure detector has flagged the box would.
+        ++graph_.mutableStats().requestsFailedOver;
+        ++reissues_;
+    }
+    return alive;
+}
+
+int
+Fanout::liveBackup(std::uint64_t id, int shard, int primary) const
+{
+    int r = hedgeReplica(id, shard, params_.replicas);
+    if (!child_.replicaTrusted(r))
+        r = child_.aliveReplica(r + 1);
+    return (r < 0 || r == primary) ? -1 : r;
+}
+
+Time
+Fanout::currentHedgeDelay() const
+{
+    // Until the estimator has a stable tail, hedge at the configured
+    // fallback; afterwards at the observed p95, floored so a
+    // collapsing estimate cannot degenerate into hedging everything
+    // instantly.
+    if (policy_ != HedgePolicy::Adaptive || replyP95_.count() < 32)
+        return params_.hedgeDelay;
+    return std::max<Time>(static_cast<Time>(replyP95_.estimate()),
+                          usec(10));
 }
 
 void
 Fanout::scatter(const net::Message &req)
 {
-    auto [it, inserted] = pending_.emplace(req.id, RpcContext{});
-    TPV_ASSERT(inserted, "parent id already has an in-flight fan-out");
-    RpcContext &call = it->second;
+    const std::uint32_t slot = pool_.acquireSlot();
+    RpcContext &call = pool_.at(slot);
+    const auto lanes = static_cast<std::size_t>(laneCount());
     call.request = req;
-    call.remaining = params_.shards;
-    call.done.assign(static_cast<std::size_t>(params_.shards), false);
+    call.active = true;
+    call.remaining = static_cast<int>(lanes);
+    call.done.assign(lanes, 0);
+    call.replicaOf.assign(lanes, 0);
+    if (policy_ == HedgePolicy::Tied)
+        call.claimed.assign(lanes, 0);
     // Timer slots only exist when hedging can arm them, keeping the
-    // unhedged hot path free of the extra per-query allocation.
-    if (params_.hedgeDelay > 0)
-        call.hedges.resize(static_cast<std::size_t>(params_.shards));
+    // unhedged hot path free of the extra per-query bookkeeping.
+    if (timedHedging())
+        call.hedges.assign(lanes, EventHandle{});
+    if (params_.route) {
+        const int routed = params_.route(req);
+        TPV_ASSERT(routed >= 0 && routed < params_.shards,
+                   "route() returned an out-of-range shard: ", routed);
+        call.routedShard = static_cast<std::uint16_t>(routed);
+    }
 
-    graph_.mutableStats().subRequestsSent +=
-        static_cast<std::uint64_t>(params_.shards);
-    for (int shard = 0; shard < params_.shards; ++shard) {
-        toChild_.send(makeSub(req, shard,
-                              primaryReplica(req.id, shard,
-                                             params_.replicas)),
+    const Time hedgeDelay = timedHedging() ? currentHedgeDelay() : 0;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        const int shard = laneToShard(call, static_cast<int>(lane));
+        const int replica = routeLive(req.id, shard);
+        if (replica < 0) {
+            // Every replica is down: nothing was sent, the request
+            // is lost. Close the lane so a later crash notification
+            // cannot mistake it for an outstanding sub-request and
+            // resurrect an already-lost lane.
+            ++graph_.mutableStats().requestsLost;
+            call.done[lane] = 1;
+            continue;
+        }
+        call.replicaOf[lane] = static_cast<std::uint8_t>(replica);
+        ++graph_.mutableStats().subRequestsSent;
+        const bool tiedCopies = policy_ == HedgePolicy::Tied;
+        toChild_.send(makeSub(req, slot, shard, replica, tiedCopies),
                       child_);
-        if (params_.hedgeDelay > 0) {
-            call.hedges[static_cast<std::size_t>(shard)] =
-                graph_.sim().schedule(
-                    params_.hedgeDelay, [this, id = req.id, shard] {
-                        fireHedge(id, shard);
-                    });
+        if (tiedCopies) {
+            // The tied twin goes to the next replica immediately;
+            // whichever copy starts first claims the request.
+            const int twin = liveBackup(req.id, shard, replica);
+            if (twin >= 0) {
+                ++graph_.mutableStats().tiedSent;
+                toChild_.send(makeSub(req, slot, shard, twin, true),
+                              child_);
+            }
+        } else if (hedgeDelay > 0) {
+            call.hedges[lane] = graph_.sim().schedule(
+                hedgeDelay,
+                [this, id = req.id, slot, shard] {
+                    fireHedge(slot, id, shard);
+                });
         }
     }
 }
 
 void
-Fanout::fireHedge(std::uint64_t parentId, int shard)
+Fanout::fireHedge(std::uint32_t slot, std::uint64_t parentId, int shard)
 {
-    auto it = pending_.find(parentId);
-    if (it == pending_.end() ||
-        it->second.done[static_cast<std::size_t>(shard)])
+    RpcContext *call = lookup(slot, parentId);
+    if (call == nullptr ||
+        call->done[static_cast<std::size_t>(shardToLane(shard))])
         return; // the shard answered between arming and firing
+    const auto lane = static_cast<std::size_t>(shardToLane(shard));
+    const int replica =
+        liveBackup(parentId, shard, call->replicaOf[lane]);
+    if (replica < 0)
+        return; // no live backup distinct from the primary: useless
     ++graph_.mutableStats().hedgesSent;
-    toChild_.send(makeSub(it->second.request, shard,
-                          hedgeReplica(parentId, shard,
-                                       params_.replicas)),
+    toChild_.send(makeSub(call->request, slot, shard, replica, false),
                   child_);
+}
+
+bool
+Fanout::admitTied(std::uint32_t token, std::uint64_t parentId,
+                  std::uint16_t shard, std::uint16_t replica)
+{
+    RpcContext *call = lookup(token, parentId);
+    const auto lane = static_cast<std::size_t>(shardToLane(shard));
+    if (call == nullptr || call->done[lane] ||
+        call->claimed[lane] != 0) {
+        // The twin already claimed (or the call retired): this copy
+        // is cancelled before any service work ran.
+        ++graph_.mutableStats().tiedCancelledBeforeRun;
+        return false;
+    }
+    call->claimed[lane] = static_cast<std::uint8_t>(replica + 1);
+    return true;
+}
+
+void
+Fanout::onReplicaDown(int replica)
+{
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(pool_.capacity()); ++slot) {
+        RpcContext &call = pool_.at(slot);
+        if (!call.active)
+            continue;
+        const auto lanes = static_cast<std::size_t>(laneCount());
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            if (call.done[lane])
+                continue;
+            bool affected;
+            if (policy_ == HedgePolicy::Tied) {
+                // A lane whose *claimer* died needs help (reopen the
+                // claim so a still-queued twin may run); a lane
+                // claimed by a live replica is already running. An
+                // unclaimed lane usually has a live twin queued — a
+                // dead replica's copy can never claim — but re-issue
+                // its primary anyway: if the twin was never sent
+                // (every backup suspected), the re-issue is the only
+                // copy left, and otherwise the duplicate is
+                // discarded by first-reply-wins.
+                const auto claimer = call.claimed[lane];
+                affected =
+                    claimer == static_cast<std::uint8_t>(replica + 1) ||
+                    (claimer == 0 &&
+                     call.replicaOf[lane] ==
+                         static_cast<std::uint8_t>(replica));
+                if (claimer == static_cast<std::uint8_t>(replica + 1))
+                    call.claimed[lane] = 0; // reopen the claim
+            } else {
+                affected = call.replicaOf[lane] ==
+                           static_cast<std::uint8_t>(replica);
+            }
+            if (!affected)
+                continue;
+            const int shard = laneToShard(call, static_cast<int>(lane));
+            const int target = child_.aliveReplica(replica + 1);
+            if (target < 0) {
+                ++graph_.mutableStats().requestsLost;
+                continue;
+            }
+            // Connection-reset recovery: re-issue the sub-request to
+            // a live replica. A duplicate reply (the dead replica's
+            // work resurfacing after a restart, or a racing hedge)
+            // is discarded by the usual first-reply-wins rule.
+            call.replicaOf[lane] = static_cast<std::uint8_t>(target);
+            ++graph_.mutableStats().requestsFailedOver;
+            ++reissues_;
+            toChild_.send(makeSub(call.request, slot, shard, target,
+                                  false),
+                          child_);
+        }
+    }
 }
 
 void
 Fanout::onReply(const net::Message &reply)
 {
-    auto it = pending_.find(reply.parentId);
-    const auto shard = static_cast<std::size_t>(reply.shard);
-    if (it == pending_.end() || it->second.done[shard]) {
-        // A hedged loser: another replica already answered this shard
-        // (or the whole call retired). Account the wasted work.
-        TPV_ASSERT(params_.hedgeDelay > 0,
-                   "shard reply for unknown call without hedging");
+    // Every reply teaches the streaming estimator, losers included —
+    // they are real observations of the tier's service behaviour.
+    // Only the Adaptive policy pays for the update: nothing consumes
+    // the estimate under the other policies, and this is a per-reply
+    // hot path.
+    if (policy_ == HedgePolicy::Adaptive) {
+        replyP95_.observe(static_cast<double>(graph_.sim().now() -
+                                              reply.appSendTime));
+        graph_.mutableStats()
+            .tiers[static_cast<std::size_t>(child_.tierIndex())]
+            .replyP95 = static_cast<Time>(replyP95_.estimate());
+    }
+
+    const auto slot = static_cast<std::uint32_t>(reply.id);
+    RpcContext *callp = lookup(slot, reply.parentId);
+    const auto lane = static_cast<std::size_t>(shardToLane(reply.shard));
+    if (callp == nullptr || callp->done[lane]) {
+        // A duplicate: another replica already answered this lane (or
+        // the whole call retired) — a hedged/tied loser or a
+        // failover re-issue racing the original. Account the wasted
+        // work.
+        TPV_ASSERT(policy_ != HedgePolicy::None || reissues_ > 0,
+                   "duplicate shard reply without hedging, tied "
+                   "requests, or failover re-issues");
         ++graph_.mutableStats().duplicatesDiscarded;
         graph_.mutableStats().duplicateWorkDispatched +=
             reply.serviceWork;
         return;
     }
-    RpcContext &call = it->second;
-    call.done[shard] = true;
-    if (params_.hedgeDelay > 0 && graph_.sim().cancel(call.hedges[shard]))
+    RpcContext &call = *callp;
+    call.done[lane] = 1;
+    if (timedHedging() && graph_.sim().cancel(call.hedges[lane]))
         ++graph_.mutableStats().hedgesCancelled;
+
+    // The parent message handed to the completion carries the last
+    // accepted reply's wire size, so single-lane (route-one)
+    // completions can echo the shard reply's size to the client
+    // without re-deriving it (see MemcachedCluster).
+    call.request.bytes = reply.bytes;
 
     // Merge on the parent pool, keyed by the parent's connection.
     const net::Message req = call.request;
-    const std::uint64_t id = reply.parentId;
     parent_.machine().deliverIrq(
         parent_.pool().irqThreadIndex(req.conn),
-        parent_.machine().config().irqWork, [this, id, req] {
+        parent_.machine().config().irqWork, [this, slot, req] {
             graph_.mutableStats().serviceWorkDispatched +=
                 params_.mergeWork;
             parent_.pool().serviceThread(req.conn).submit(
-                params_.mergeWork, [this, id, req] {
-                    auto pit = pending_.find(id);
-                    TPV_ASSERT(pit != pending_.end(),
-                               "merge for retired call");
-                    if (--pit->second.remaining > 0)
+                params_.mergeWork, [this, slot, req] {
+                    RpcContext *pc = lookup(slot, req.id);
+                    TPV_ASSERT(pc != nullptr, "merge for retired call");
+                    if (--pc->remaining > 0)
                         return;
-                    pending_.erase(pit);
+                    pc->active = false;
+                    pool_.release(slot);
                     finish(req);
                 });
         });
@@ -329,7 +690,10 @@ ServiceGraph::addTier(hw::Machine &machine, TierParams params)
 {
     tiers_.push_back(
         std::make_unique<Tier>(*this, machine, std::move(params)));
-    return *tiers_.back();
+    Tier &t = *tiers_.back();
+    t.tierIndex_ = static_cast<int>(stats_.tiers.size());
+    stats_.tiers.push_back(TierBreakdown{t.params().name, 0, 0, 0, 0, 0});
+    return t;
 }
 
 Tier &
@@ -350,7 +714,29 @@ ServiceGraph::addReplicatedTier(const hw::HwConfig &cfg, int replicas,
     tiers_.push_back(
         std::make_unique<Tier>(*this, std::move(hosts),
                                std::move(params)));
-    return *tiers_.back();
+    Tier &t = *tiers_.back();
+    t.tierIndex_ = static_cast<int>(stats_.tiers.size());
+    stats_.tiers.push_back(TierBreakdown{t.params().name, 0, 0, 0, 0, 0});
+    return t;
+}
+
+Tier *
+ServiceGraph::findTier(const std::string &name)
+{
+    for (auto &t : tiers_) {
+        if (t->params().name == name)
+            return t.get();
+    }
+    return nullptr;
+}
+
+void
+ServiceGraph::notifyReplicaDown(Tier &tier, int replica)
+{
+    for (auto &f : fanouts_) {
+        if (&f->child() == &tier)
+            f->onReplicaDown(replica);
+    }
 }
 
 net::Link &

@@ -38,12 +38,35 @@
 #include "hw/machine.hh"
 #include "net/link.hh"
 #include "net/message.hh"
+#include "sim/fixed_containers.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "stats/streaming_quantile.hh"
 #include "svc/worker_pool.hh"
 
 namespace tpv {
 namespace svc {
+
+/** Per-tier slice of the service counters (one entry per tier of a
+ *  ServiceGraph, in construction order). */
+struct TierBreakdown
+{
+    std::string name;
+    /** Requests handed to this tier's worker pools. */
+    std::uint64_t requestsDispatched = 0;
+    /** Nominal service work dispatched on this tier. */
+    Time workDispatched = 0;
+    /** Requests lost on this tier (dead-replica arrivals, replies
+     *  that died with a crashed replica). */
+    std::uint64_t requestsLost = 0;
+    /** Fault windows opened against this tier. */
+    std::uint64_t faultsInjected = 0;
+    /** Streaming p95 of sub-request round-trips *into* this tier, as
+     *  observed by an *Adaptive* fan-out feeding it (0 otherwise —
+     *  the estimator only runs when a policy consumes it). The
+     *  signal adaptive hedging steers by. */
+    Time replyP95 = 0;
+};
 
 /** Counters every service exposes. */
 struct ServiceStats
@@ -62,7 +85,58 @@ struct ServiceStats
     std::uint64_t duplicatesDiscarded = 0;
     /** Service work spent on discarded replies (the price of hedging). */
     Time duplicateWorkDispatched = 0;
+    /** Tied twin copies sent alongside primaries (Tied policy). */
+    std::uint64_t tiedSent = 0;
+    /** Tied twins abandoned before any service work ran — the
+     *  cancel-the-loser-before-it-runs win condition. */
+    std::uint64_t tiedCancelledBeforeRun = 0;
+    /** Fault windows opened by a fault::Injector. */
+    std::uint64_t faultsInjected = 0;
+    /** Sub-requests re-routed or re-issued around a dead replica. */
+    std::uint64_t requestsFailedOver = 0;
+    /** Requests dropped by faults: dead-replica arrivals, replies
+     *  that died with their replica, injected link loss. */
+    std::uint64_t requestsLost = 0;
+    /** Simulated time spent inside stop-the-world pause windows. */
+    Time pauseTime = 0;
+    /** Per-tier breakdown (ServiceGraph services; empty otherwise). */
+    std::vector<TierBreakdown> tiers;
 };
+
+/**
+ * How a fan-out buys back the tail of a slow or failed shard.
+ * Auto resolves to Fixed when a hedge delay is configured and None
+ * otherwise, so pre-policy configurations keep their behaviour.
+ */
+enum class HedgePolicy : std::uint8_t
+{
+    Auto,
+    /** Wait for the primary, however long it takes. */
+    None,
+    /** Duplicate a shard after a fixed delay (the classic hedge). */
+    Fixed,
+    /**
+     * Duplicate a shard once it is slower than the *observed* p95 of
+     * that tier's replies (streaming estimate): the hedge threshold
+     * tracks load and injected faults instead of a tuning constant.
+     * The configured hedgeDelay seeds the threshold until the
+     * estimator has seen enough replies.
+     */
+    Adaptive,
+    /**
+     * Send two copies up front; the first to reach a worker claims
+     * the request and the other is cancelled before it runs
+     * (Dean & Barroso's tied requests — the duplicate costs queue
+     * slots, not service work).
+     */
+    Tied,
+};
+
+/** @return policy name ("fixed", "tied", ...). */
+const char *toString(HedgePolicy p);
+
+/** Resolve Auto: Fixed when @p hedgeDelay > 0, else None. */
+HedgePolicy resolveHedgePolicy(HedgePolicy p, Time hedgeDelay);
 
 /**
  * The topology knobs every study can sweep: how wide a fan-out
@@ -76,10 +150,14 @@ struct TopologyShape
     int shards = 1;
     /** Replicas backing each shard (hedges go to the next replica). */
     int replicas = 1;
-    /** Hedge a shard after this delay; 0 disables hedging. */
+    /** Hedge a shard after this delay; 0 disables hedging. Under the
+     *  Adaptive policy this is the pre-warmup fallback threshold. */
     Time hedgeDelay = 0;
+    /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
+    HedgePolicy policy = HedgePolicy::Auto;
 
-    /** "s8", "s8r2", "s8r2+h300us" style tag for study cells. */
+    /** "s8", "s8r2", "s8r2+h300us", "s8r2+ah300us", "s8r2+tied"
+     *  style tag for study cells. */
     std::string label() const;
 };
 
@@ -143,6 +221,17 @@ class Tier : public net::Endpoint
     /** Runs on the worker once a request's service work completes. */
     using Handler = std::function<void(const net::Message &msg, Time work)>;
 
+    /**
+     * Start-time admission arbiter for tied sub-requests, installed
+     * by a Fanout running the Tied policy. Called on the worker at
+     * the instant a tied copy would begin execution; a false return
+     * cancels that copy before any work runs. @p token is the
+     * fan-out's context slot (the sub-request's Message::id).
+     */
+    using TieArbiter = std::function<bool(
+        std::uint32_t token, std::uint64_t parentId, std::uint16_t shard,
+        std::uint16_t replica)>;
+
     /** Replicated tier: one instance per host, routed by replica. */
     Tier(ServiceGraph &graph, std::vector<hw::Machine *> hosts,
          TierParams params);
@@ -152,6 +241,9 @@ class Tier : public net::Endpoint
 
     /** Replace the completion handler (fan-out scatter, chain hop). */
     void setHandler(Handler handler) { handler_ = std::move(handler); }
+
+    /** Install the tied-request arbiter (one fan-out per tier). */
+    void setTieArbiter(TieArbiter fn) { tieArbiter_ = std::move(fn); }
 
     void onMessage(const net::Message &msg) override;
 
@@ -167,15 +259,75 @@ class Tier : public net::Endpoint
         return static_cast<int>(instances_.size());
     }
 
+    // ---- fault-injection hooks (used by fault::Injector) ----
+
+    /**
+     * Crash (@p up false) or restart (@p up true) a replica. While
+     * down, arriving requests are dropped (a dead box accepts no
+     * connections) and service work completing on the replica
+     * produces no reply — both counted as requestsLost. Queued and
+     * in-flight work is thereby dropped-or-error-completed, exactly
+     * like a process kill.
+     */
+    void setReplicaUp(int replica, bool up);
+
+    /** @return true while @p replica accepts and answers requests. */
+    bool replicaUp(int replica) const;
+
+    /**
+     * Mark @p replica suspected-down (@p suspect true) as far as
+     * senders are concerned. Failure *detection* is separate from
+     * failure: an undetected crash keeps receiving (and losing)
+     * traffic until the detector fires — the gap hedged and tied
+     * requests close without any detector at all.
+     */
+    void setReplicaSuspected(int replica, bool suspect);
+
+    /**
+     * @return true while senders should route to @p replica: not
+     * suspected down (detection knowledge), regardless of whether it
+     * is actually up (ground truth only the replica knows).
+     */
+    bool replicaTrusted(int replica) const;
+
+    /**
+     * Degrade (@p factor > 1) or restore (@p factor 1) a replica:
+     * service work drawn while degraded is multiplied by @p factor —
+     * the work-model equivalent of a replica pinned to a low DVFS
+     * state or starved by a noisy neighbour.
+     */
+    void setReplicaSlowdown(int replica, double factor);
+
+    /** Current slowdown factor of @p replica. */
+    double replicaSlowdown(int replica) const;
+
+    /**
+     * First *trusted* replica at or after @p preferred (wrapping):
+     * the failover target a sender would pick from its detection
+     * knowledge. @return -1 when every replica is suspected down.
+     */
+    int aliveReplica(int preferred) const;
+
+    /** Index of this tier's TierBreakdown in the graph's stats. */
+    int tierIndex() const { return tierIndex_; }
+
     WorkerPool &pool(int replica = 0);
     hw::Machine &machine(int replica = 0);
     const TierParams &params() const { return params_; }
 
   private:
+    friend class ServiceGraph;
+
     struct Instance
     {
         hw::Machine *machine;
         WorkerPool pool;
+        /** False while a crash fault holds the replica down. */
+        bool up = true;
+        /** True once the failure detector has flagged the replica. */
+        bool suspected = false;
+        /** Service-time multiplier of a slowdown fault (1 = healthy). */
+        double slowFactor = 1.0;
     };
 
     /** The instance serving @p msg (replica clamped to the count). */
@@ -184,10 +336,20 @@ class Tier : public net::Endpoint
     /** Post-IRQ: draw the work and queue it on the pinned worker. */
     void dispatch(const net::Message &msg);
 
+    /** Worker completion: route to the handler unless the replica
+     *  died while the work was queued or running. */
+    void completeService(const net::Message &msg, Time work);
+
+    /** Count a request lost to a fault on this tier. */
+    void countLost();
+
     ServiceGraph &graph_;
     TierParams params_;
     std::vector<std::unique_ptr<Instance>> instances_;
     Handler handler_;
+    TieArbiter tieArbiter_;
+    /** Set by ServiceGraph::addTier / addReplicatedTier. */
+    int tierIndex_ = 0;
 };
 
 /** Tunables of one scatter-gather fan-out edge. */
@@ -197,8 +359,18 @@ struct FanoutParams
     int shards = 1;
     /** Replicas per shard; the primary is picked per (id, shard). */
     int replicas = 1;
-    /** Hedge a shard's sub-request after this delay (0 = off). */
+    /** Hedge a shard's sub-request after this delay (0 = off under
+     *  Auto; the pre-warmup fallback threshold under Adaptive). */
     Time hedgeDelay = 0;
+    /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
+    HedgePolicy policy = HedgePolicy::Auto;
+    /**
+     * Single-shard routing (a sharded key-value tier): when set,
+     * each request goes to route(req) % shards only, instead of
+     * scattering to every shard — key-hash routing through the same
+     * replica-selection, hedging and failover machinery.
+     */
+    std::function<int(const net::Message &)> route;
     /** Parent-tier work per accepted shard reply (merge). */
     Time mergeWork = 0;
     /** Parent-tier work after the last shard reply (top-k, marshal). */
@@ -217,7 +389,12 @@ struct FanoutParams
 class Fanout
 {
   public:
-    /** Fired on the parent worker after the last reply's post-work. */
+    /**
+     * Fired on the parent worker after the last reply's post-work.
+     * @p parent is the scattered request, except that its bytes
+     * field carries the last accepted shard reply's wire size —
+     * route-one completions echo the shard reply to the client.
+     */
     using Complete = std::function<void(const net::Message &parent)>;
 
     Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
@@ -237,25 +414,99 @@ class Fanout
     static int hedgeReplica(std::uint64_t id, int shard, int replicas);
 
     /** Parents with outstanding shard replies (diagnostics). */
-    std::size_t inFlight() const { return pending_.size(); }
+    std::size_t inFlight() const { return pool_.inUse(); }
 
     const FanoutParams &params() const { return params_; }
+
+    /** Resolved hedging policy (Auto already normalised). */
+    HedgePolicy policy() const { return policy_; }
+
+    /** The child tier this edge scatters into. */
+    Tier &child() { return child_; }
+
+    /**
+     * Threshold an Adaptive hedge would use right now: the streaming
+     * p95 of observed sub-request round-trips once warmed up, the
+     * configured hedgeDelay before that.
+     */
+    Time currentHedgeDelay() const;
+
+    /** Streaming reply-latency estimator (diagnostics). */
+    const stats::StreamingQuantile &replyQuantile() const
+    {
+        return replyP95_;
+    }
+
+    /**
+     * Fault hook: @p replica of the child tier just crashed.
+     * Outstanding sub-requests assigned to it are re-issued to a
+     * live replica (counted as requestsFailedOver) — the simulated
+     * analogue of a connection reset triggering a client retry.
+     */
+    void onReplicaDown(int replica);
 
   private:
     struct RpcContext
     {
         net::Message request;
-        /** Shards whose merge has not completed yet. */
+        /** Slot occupied (stale replies validate against this plus
+         *  the parent id). */
+        bool active = false;
+        /** Lanes whose merge has not completed yet. */
         int remaining = 0;
-        /** Per shard: first reply accepted (later ones are losers). */
-        std::vector<bool> done;
-        /** Per shard: armed hedge timer. */
+        /** Route-one target shard (single-lane contexts). */
+        std::uint16_t routedShard = 0;
+        /** Per lane: first reply accepted (later ones are losers). */
+        std::vector<std::uint8_t> done;
+        /** Per lane (Tied): 0 = unclaimed, else claiming replica+1. */
+        std::vector<std::uint8_t> claimed;
+        /** Per lane: replica currently assigned the primary copy. */
+        std::vector<std::uint8_t> replicaOf;
+        /** Per lane: armed hedge timer. */
         std::vector<EventHandle> hedges;
     };
 
-    net::Message makeSub(const net::Message &req, int shard,
-                         int replica) const;
-    void fireHedge(std::uint64_t parentId, int shard);
+    /** Lanes per context: 1 when routing, shards when scattering. */
+    int laneCount() const { return params_.route ? 1 : params_.shards; }
+    int laneToShard(const RpcContext &call, int lane) const
+    {
+        return params_.route ? call.routedShard : lane;
+    }
+    int shardToLane(int shard) const
+    {
+        return params_.route ? 0 : shard;
+    }
+
+    /** True when hedge timers are armed (Fixed or Adaptive). */
+    bool timedHedging() const
+    {
+        return policy_ == HedgePolicy::Fixed ||
+               policy_ == HedgePolicy::Adaptive;
+    }
+
+    /** The context behind @p slot iff it is live for @p parentId. */
+    RpcContext *lookup(std::uint32_t slot, std::uint64_t parentId);
+
+    /**
+     * Replica to send (req, shard)'s primary copy to, routing around
+     * dead replicas (counts requestsFailedOver on a detour).
+     * @return -1 when the whole child tier is down.
+     */
+    int routeLive(std::uint64_t id, int shard);
+
+    /**
+     * Backup replica for a duplicate of (id, shard): the hedge
+     * target, detoured to the next trusted replica when it is
+     * suspected. @return -1 when no trusted replica distinct from
+     * @p primary exists (a duplicate there could never win).
+     */
+    int liveBackup(std::uint64_t id, int shard, int primary) const;
+
+    net::Message makeSub(const net::Message &req, std::uint32_t slot,
+                         int shard, int replica, bool tied) const;
+    void fireHedge(std::uint32_t slot, std::uint64_t parentId, int shard);
+    bool admitTied(std::uint32_t token, std::uint64_t parentId,
+                   std::uint16_t shard, std::uint16_t replica);
     void onReply(const net::Message &reply);
     void finish(const net::Message &req);
 
@@ -263,12 +514,23 @@ class Fanout
     Tier &parent_;
     Tier &child_;
     FanoutParams params_;
+    HedgePolicy policy_;
     Complete onComplete_;
     net::Link &toChild_;
     net::Link &toParent_;
     /** Adapter delivering child replies back into onReply(). */
     std::unique_ptr<net::Endpoint> mergePort_;
-    std::unordered_map<std::uint64_t, RpcContext> pending_;
+    /**
+     * In-flight contexts. Slot-pooled: the sub-request's Message::id
+     * carries the slot index back in the reply, so the steady state
+     * allocates nothing — no map nodes, and the per-context vectors
+     * keep their capacity across recycles (acquireSlot/release).
+     */
+    SlotPool<RpcContext> pool_;
+    /** Streaming p95 of sub-request round-trips (Adaptive's input). */
+    stats::StreamingQuantile replyP95_;
+    /** Failover re-issues performed (legalises duplicate replies). */
+    std::uint64_t reissues_ = 0;
 };
 
 /**
@@ -321,6 +583,26 @@ class ServiceGraph : public net::Endpoint
 
     /** This run's service-time environment factor. */
     double envFactor() const { return envFactor_; }
+
+    // ---- fault-injection surface (used by fault::Injector) ----
+
+    /** Tier by TierParams::name; nullptr when absent. */
+    Tier *findTier(const std::string &name);
+
+    /** Tiers in construction order (targeting / reports). */
+    std::size_t tierCount() const { return tiers_.size(); }
+    Tier &tier(std::size_t i) { return *tiers_.at(i); }
+
+    /** Graph-owned intra-cluster links, in construction order. */
+    std::size_t linkCount() const { return links_.size(); }
+    net::Link &link(std::size_t i) { return *links_.at(i); }
+
+    /**
+     * Broadcast a replica crash to every fan-out feeding @p tier so
+     * outstanding sub-requests fail over. Call *after*
+     * Tier::setReplicaUp(replica, false).
+     */
+    void notifyReplicaDown(Tier &tier, int replica);
 
     const ServiceStats &stats() const { return stats_; }
     ServiceStats &mutableStats() { return stats_; }

@@ -1,0 +1,360 @@
+/** @file Unit tests for the fault-injection subsystem: window
+ *  materialisation, typed fault application, and counters. */
+
+#include "fault/fault.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hh"
+#include "sim/simulator.hh"
+#include "svc/topology.hh"
+
+namespace tpv {
+namespace fault {
+namespace {
+
+struct ClientSink : net::Endpoint
+{
+    Simulator &sim;
+    std::vector<net::Message> responses;
+    std::vector<Time> at;
+
+    explicit ClientSink(Simulator &s) : sim(s) {}
+
+    void
+    onMessage(const net::Message &m) override
+    {
+        responses.push_back(m);
+        at.push_back(sim.now());
+    }
+};
+
+/** One deterministic single-tier graph: fixed 10us work, no jitter. */
+struct Rig
+{
+    Simulator sim;
+    net::Link reply;
+    ClientSink client;
+    svc::ServiceGraph graph;
+    svc::Tier *tier = nullptr;
+
+    explicit Rig(int replicas = 1)
+        : reply(sim, Rng(1), net::Link::Params{usec(5), 0.0, 10.0}),
+          client(sim), graph(sim, reply, client, Rng(3))
+    {
+        svc::TierParams t;
+        t.name = "solo";
+        t.workers = 4;
+        t.work = svc::fixedWork(usec(10));
+        t.responseBytes = 64;
+        if (replicas == 1) {
+            tier = &graph.addTier(
+                graph.addMachine(hw::HwConfig::serverBaseline(), "solo"),
+                std::move(t));
+        } else {
+            tier = &graph.addReplicatedTier(hw::HwConfig::serverBaseline(),
+                                            replicas, std::move(t));
+        }
+        graph.setEntry(*tier);
+    }
+
+    void
+    sendAt(Time when, std::uint64_t id)
+    {
+        sim.at(when, [this, id] {
+            net::Message req;
+            req.id = id;
+            req.conn = static_cast<std::uint32_t>(id);
+            graph.onMessage(req);
+        });
+    }
+};
+
+TEST(FaultPlan, Labels)
+{
+    EXPECT_EQ(FaultPlan::none().label(), "none");
+    EXPECT_EQ(FaultPlan::replicaKill("bucket", 0, msec(30)).label(),
+              "kill-r0@30ms");
+    EXPECT_EQ(
+        FaultPlan::replicaKill("bucket", 1, msec(30), msec(50)).label(),
+        "kill-r1@30ms+50ms");
+    EXPECT_EQ(FaultPlan::replicaSlowdown("bucket", 0, 4.0, msec(10),
+                                         msec(20))
+                  .label(),
+              "slow4x-r0@10ms+20ms");
+    EXPECT_EQ(FaultPlan::pause("bucket", 0, msec(20), msec(5)).label(),
+              "pause-r0@20ms+5ms");
+    EXPECT_EQ(FaultPlan::flaky("bucket", 0, msec(20), msec(5)).label(),
+              "kill-r0~20ms/5ms");
+    auto combo = FaultPlan::replicaKill("bucket", 0, msec(30));
+    combo.add(FaultPlan::linkDegrade(usec(200), 0.01, msec(10))
+                  .faults.front());
+    EXPECT_EQ(combo.label(), "kill-r0@30ms+link@10ms");
+}
+
+TEST(Injector, MaterialiseExplicitWindows)
+{
+    Rng rng(1);
+    FaultSpec s;
+    s.start = msec(10);
+    s.duration = msec(5);
+    auto w = Injector::materialise(s, msec(100), rng);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].start, msec(10));
+    EXPECT_EQ(w[0].end, msec(15));
+
+    // Open-ended: runs to the horizon.
+    s.duration = 0;
+    w = Injector::materialise(s, msec(100), rng);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].end, msec(100));
+}
+
+TEST(Injector, MaterialiseStochasticWindowsDeterministic)
+{
+    FaultSpec s;
+    s.mttf = msec(20);
+    s.mttr = msec(5);
+    auto draw = [&] {
+        Rng rng(99);
+        return Injector::materialise(s, msec(500), rng);
+    };
+    const auto a = draw();
+    const auto b = draw();
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].start, b[i].start);
+        EXPECT_EQ(a[i].end, b[i].end);
+        EXPECT_LT(a[i].start, a[i].end);
+        EXPECT_LE(a[i].end, msec(500));
+        if (i > 0) {
+            EXPECT_GT(a[i].start, a[i - 1].end); // non-overlapping
+        }
+    }
+    // A different seed draws a different outage timeline.
+    Rng other(100);
+    const auto c = Injector::materialise(s, msec(500), other);
+    ASSERT_FALSE(c.empty());
+    EXPECT_TRUE(c.size() != a.size() || c[0].start != a[0].start);
+}
+
+TEST(Injector, CrashDropsArrivalsAndRestartRecovers)
+{
+    Rig rig;
+    // One request before the window, one inside, one after restart.
+    rig.sendAt(msec(1), 1);
+    rig.sendAt(msec(11), 2);
+    rig.sendAt(msec(21), 3);
+    Injector inj(rig.sim, rig.graph,
+                 FaultPlan::replicaKill("solo", 0, msec(10), msec(10)),
+                 Rng(5));
+    inj.arm(msec(40));
+    rig.sim.run();
+
+    ASSERT_EQ(rig.client.responses.size(), 2u);
+    EXPECT_EQ(rig.client.responses[0].id, 1u);
+    EXPECT_EQ(rig.client.responses[1].id, 3u);
+    const svc::ServiceStats &s = rig.graph.stats();
+    EXPECT_EQ(s.requestsLost, 1u);
+    EXPECT_EQ(s.faultsInjected, 1u);
+    ASSERT_EQ(s.tiers.size(), 1u);
+    EXPECT_EQ(s.tiers[0].name, "solo");
+    EXPECT_EQ(s.tiers[0].requestsLost, 1u);
+    EXPECT_EQ(s.tiers[0].faultsInjected, 1u);
+    EXPECT_EQ(s.tiers[0].requestsDispatched, 2u);
+    EXPECT_EQ(inj.windowsArmed(), 1u);
+}
+
+TEST(Injector, CrashErrorCompletesInFlightWork)
+{
+    // The request is dispatched (work drawn, queued) before the kill
+    // but completes inside the window: its reply dies with the box.
+    Rig rig;
+    rig.sendAt(usec(100), 1);
+    Injector inj(rig.sim, rig.graph,
+                 FaultPlan::replicaKill("solo", 0, usec(105), msec(5)),
+                 Rng(5));
+    inj.arm(msec(20));
+    rig.sim.run();
+
+    EXPECT_TRUE(rig.client.responses.empty());
+    EXPECT_EQ(rig.graph.stats().requestsLost, 1u);
+}
+
+TEST(Injector, SlowdownMultipliesDrawnWork)
+{
+    // 10us fixed work, 8x slowdown inside the window: the slowed
+    // request's response arrives ~70us later than the healthy one's.
+    Rig healthy;
+    healthy.sendAt(msec(11), 1);
+    healthy.sim.run();
+    ASSERT_EQ(healthy.client.responses.size(), 1u);
+    const Time healthyAt = healthy.client.at[0];
+
+    Rig slowed;
+    slowed.sendAt(msec(11), 1);
+    Injector inj(slowed.sim, slowed.graph,
+                 FaultPlan::replicaSlowdown("solo", 0, 8.0, msec(10),
+                                            msec(10)),
+                 Rng(5));
+    inj.arm(msec(40));
+    slowed.sim.run();
+    ASSERT_EQ(slowed.client.responses.size(), 1u);
+    EXPECT_EQ(slowed.client.at[0] - healthyAt, usec(70));
+    EXPECT_EQ(slowed.graph.stats().tiers[0].workDispatched, usec(80));
+}
+
+TEST(Injector, PauseFreezesTheMachineForTheWindow)
+{
+    // The request lands mid-pause: nothing progresses until the
+    // window closes, so the response slips by ~the pause length.
+    Rig healthy;
+    healthy.sendAt(msec(12), 1);
+    healthy.sim.run();
+    ASSERT_EQ(healthy.client.responses.size(), 1u);
+    const Time healthyAt = healthy.client.at[0];
+
+    Rig paused;
+    paused.sendAt(msec(12), 1);
+    Injector inj(paused.sim, paused.graph,
+                 FaultPlan::pause("solo", 0, msec(10), msec(5)),
+                 Rng(5));
+    inj.arm(msec(40));
+    paused.sim.run();
+    ASSERT_EQ(paused.client.responses.size(), 1u);
+    const Time slip = paused.client.at[0] - healthyAt;
+    EXPECT_GE(slip, msec(2.9));
+    EXPECT_LE(slip, msec(5.1));
+    EXPECT_EQ(paused.graph.stats().pauseTime, msec(5));
+}
+
+TEST(Injector, LinkDegradeAddsLatencyAndLoss)
+{
+    // A graph with an internal link pair (via a fanout) so the
+    // injector has a target; total loss makes every sub-request
+    // vanish while the window is open.
+    Simulator sim;
+    net::Link reply(sim, Rng(1), net::Link::Params{usec(5), 0.0, 10.0});
+    ClientSink client(sim);
+    svc::ServiceGraph graph(sim, reply, client, Rng(3));
+    const hw::HwConfig cfg = hw::HwConfig::serverBaseline();
+    svc::TierParams pp;
+    pp.name = "parent";
+    pp.workers = 2;
+    pp.work = svc::fixedWork(usec(5));
+    svc::Tier &parent =
+        graph.addTier(graph.addMachine(cfg, "parent"), std::move(pp));
+    svc::TierParams cp;
+    cp.name = "leaf";
+    cp.workers = 2;
+    cp.work = svc::fixedWork(usec(10));
+    cp.responseBytes = 128;
+    svc::Tier &leaf =
+        graph.addTier(graph.addMachine(cfg, "leaf"), std::move(cp));
+    svc::FanoutParams f;
+    f.shards = 1;
+    f.link = net::Link::Params{usec(5), 0.0, 10.0};
+    svc::Fanout &fan = graph.addFanout(
+        parent, leaf, f, [&graph](const net::Message &req) {
+            net::Message resp = req;
+            resp.isResponse = true;
+            graph.respond(std::move(resp));
+        });
+    parent.setHandler(
+        [&fan](const net::Message &req, Time) { fan.scatter(req); });
+    graph.setEntry(parent);
+    ASSERT_EQ(graph.linkCount(), 2u);
+
+    auto sendAt = [&](Time when, std::uint64_t id) {
+        sim.at(when, [&graph, id] {
+            net::Message req;
+            req.id = id;
+            req.conn = static_cast<std::uint32_t>(id);
+            graph.onMessage(req);
+        });
+    };
+    sendAt(msec(1), 1);  // healthy
+    sendAt(msec(11), 2); // inside the loss window: the sub vanishes
+    FaultPlan plan = FaultPlan::linkDegrade(usec(200), 1.0, msec(10),
+                                            msec(10));
+    Injector inj(sim, graph, plan, Rng(5));
+    inj.arm(msec(40));
+    sim.run();
+
+    ASSERT_EQ(client.responses.size(), 1u);
+    EXPECT_EQ(client.responses[0].id, 1u);
+    EXPECT_GE(graph.stats().requestsLost, 1u);
+    EXPECT_GE(graph.link(0).messagesDropped() +
+                  graph.link(1).messagesDropped(),
+              1u);
+    EXPECT_FALSE(graph.link(0).degraded()); // window closed
+}
+
+TEST(Injector, OverlappingWindowsCompose)
+{
+    // Two kill windows overlapping on the same replica: [10, 30) and
+    // [20, 40). The first window's end must NOT revive the replica
+    // while the second still holds it down — the fault lifts only at
+    // the last window's end.
+    Rig rig;
+    rig.sendAt(msec(35), 1); // inside window 2 only: still dropped
+    rig.sendAt(msec(45), 2); // after both: served
+    FaultPlan plan = FaultPlan::replicaKill("solo", 0, msec(10),
+                                            msec(20));
+    plan.add(FaultPlan::replicaKill("solo", 0, msec(20), msec(20))
+                 .faults.front());
+    Injector inj(rig.sim, rig.graph, plan, Rng(5));
+    inj.arm(msec(60));
+    rig.sim.run();
+
+    ASSERT_EQ(rig.client.responses.size(), 1u);
+    EXPECT_EQ(rig.client.responses[0].id, 2u);
+    EXPECT_EQ(rig.graph.stats().requestsLost, 1u);
+    EXPECT_EQ(rig.graph.stats().faultsInjected, 2u);
+}
+
+TEST(Injector, ExplicitWindowClampedToHorizon)
+{
+    // A pause asked to outlast the run only bills the pause the run
+    // actually experienced.
+    Rig rig;
+    Injector inj(rig.sim, rig.graph,
+                 FaultPlan::pause("solo", 0, msec(10), msec(100)),
+                 Rng(5));
+    inj.arm(msec(30));
+    rig.sim.run();
+    EXPECT_EQ(rig.graph.stats().pauseTime, msec(20));
+}
+
+TEST(Injector, CrashAllReplicas)
+{
+    Rig rig(3);
+    rig.sendAt(msec(11), 1);
+    FaultPlan plan;
+    FaultSpec s;
+    s.kind = FaultKind::ReplicaCrash;
+    s.tier = "solo";
+    s.replica = -1;
+    s.start = msec(10);
+    s.duration = msec(10);
+    plan.add(s);
+    Injector inj(rig.sim, rig.graph, plan, Rng(5));
+    inj.arm(msec(40));
+    int aliveMidWindow = 0;
+    rig.sim.at(msec(15), [&] {
+        aliveMidWindow = rig.tier->aliveReplica(0);
+    });
+    rig.sim.run();
+    EXPECT_TRUE(rig.client.responses.empty());
+    EXPECT_EQ(aliveMidWindow, -1);
+    // Restored after the window.
+    EXPECT_TRUE(rig.tier->replicaUp(0));
+    EXPECT_TRUE(rig.tier->replicaUp(2));
+}
+
+} // namespace
+} // namespace fault
+} // namespace tpv
