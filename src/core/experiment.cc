@@ -114,6 +114,16 @@ applyTopology(ExperimentConfig &cfg, const svc::TopologyShape &shape)
     cfg.memcached.replicas = shape.replicas;
     cfg.memcached.hedgeDelay = shape.hedgeDelay;
     cfg.memcached.hedgePolicy = shape.policy;
+    cfg.hdsearch.traffic = shape.traffic;
+    cfg.memcached.traffic = shape.traffic;
+}
+
+void
+applyTrafficPolicy(ExperimentConfig &cfg, const svc::TrafficPolicy &policy)
+{
+    cfg.topology.traffic = policy;
+    cfg.hdsearch.traffic = policy;
+    cfg.memcached.traffic = policy;
 }
 
 namespace {
@@ -233,6 +243,16 @@ runOnce(const ExperimentConfig &cfg)
     out.sendLateness = gen.recorder().latenessSummary();
     out.sent = gen.recorder().sent();
     out.received = gen.recorder().received();
+    if (cfg.sloLatency > 0) {
+        // Goodput numerator: recorded latencies are in us, sorted
+        // ascending, so the SLO cut is one binary search.
+        const auto &xs = gen.recorder().sortedLatencies();
+        const double sloUs =
+            static_cast<double>(cfg.sloLatency) / 1000.0;
+        out.receivedWithinSlo = static_cast<std::uint64_t>(
+            std::upper_bound(xs.begin(), xs.end(), sloUs) -
+            xs.begin());
+    }
     out.clientHw = clientMachine.stats();
     if (serverMachine)
         out.serverHw = serverMachine->stats();

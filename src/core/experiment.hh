@@ -66,6 +66,13 @@ struct ExperimentConfig
      * core::sweepFaultPlans().
      */
     fault::FaultPlan faultPlan;
+    /**
+     * Goodput SLO: when > 0, RunResult::receivedWithinSlo counts the
+     * in-window replies whose end-to-end latency met this bound —
+     * the numerator of the goodput bench/overload sweeps. Purely a
+     * reporting knob: no effect on the simulation itself.
+     */
+    Time sloLatency = 0;
     std::uint64_t seed = 1;
 
     /** Short human-readable tag for reports ("LP-SMToff"). */
@@ -103,6 +110,17 @@ struct ExperimentConfig
 void applyTopology(ExperimentConfig &cfg,
                    const svc::TopologyShape &shape);
 
+/**
+ * Apply a traffic-management policy to @p cfg without touching the
+ * topology shape: sub-request deadlines/retries and circuit breakers
+ * land on the workload's fan-out edge, admission control on its leaf
+ * tier. Recorded in cfg.topology.traffic so cell labels and reports
+ * can name the policy. Sweep this axis with
+ * core::sweepTrafficPolicies().
+ */
+void applyTrafficPolicy(ExperimentConfig &cfg,
+                        const svc::TrafficPolicy &policy);
+
 /** Metrics of a single run (one repetition). */
 struct RunResult
 {
@@ -112,6 +130,8 @@ struct RunResult
     stats::Summary sendLateness;
     std::uint64_t sent = 0;
     std::uint64_t received = 0;
+    /** Replies within cfg.sloLatency (0 when no SLO configured). */
+    std::uint64_t receivedWithinSlo = 0;
     /** Client machine power/DVFS activity during the run. */
     hw::MachineStats clientHw;
     /** Server machine stats (single-tier workloads; zeroed for the

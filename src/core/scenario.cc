@@ -133,6 +133,41 @@ faultScenarios()
     return out;
 }
 
+std::vector<Scenario>
+trafficScenarios()
+{
+    // A replicated shape with an undetected-crash-style fault plan —
+    // the regime where the traffic layer earns its keep — crossed
+    // with the self-defence policies: none (the stranded-request
+    // baseline), deadlines+retries, retries plus depth shedding, and
+    // the full stack with breakers.
+    svc::TopologyShape shape{4, 2, 0};
+    svc::TrafficPolicy retries;
+    retries.retry.deadline = msec(2);
+    svc::TrafficPolicy shedding = retries;
+    shedding.admission.maxQueueDepth = 64;
+    svc::TrafficPolicy full = shedding;
+    full.breaker.failureThreshold = 3;
+    const std::vector<svc::TrafficPolicy> policies = {
+        svc::TrafficPolicy{}, retries, shedding, full};
+    // detectDelay outlives the crash window: the failure detector
+    // never fires, so only the traffic policies can recover.
+    const fault::FaultPlan plan = fault::FaultPlan::replicaKill(
+        "hds-bucket", 0, msec(10), msec(5), msec(60));
+    std::vector<Scenario> out;
+    for (const Scenario &base : tableIIIScenarios()) {
+        for (const svc::TrafficPolicy &policy : policies) {
+            Scenario s = base;
+            s.topology = shape;
+            s.topology.traffic = policy;
+            s.faultPlan = plan;
+            s.sections = "traffic extension";
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
 Scenario
 classify(loadgen::SendMode interarrival, loadgen::MeasurePoint measure,
          bool clientTuned, Time serviceLatency)

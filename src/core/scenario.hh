@@ -103,6 +103,18 @@ std::vector<Scenario> topologyScenarios();
 std::vector<Scenario> faultScenarios();
 
 /**
+ * Table III's rows crossed with traffic-management policies (none /
+ * deadlines+retries / retries+shedding / the full stack with circuit
+ * breakers) on a replicated topology under a short undetected replica
+ * kill. The no-policy rows pin the stranded-request baseline — losses
+ * the fault plan inflicts that nothing recovers; the policy rows show
+ * the same plan with the service defending itself, which shortens the
+ * loss tail back into the regime where client-side measurement error
+ * matters again.
+ */
+std::vector<Scenario> trafficScenarios();
+
+/**
  * Classify an arbitrary setup the way Table III would: services with
  * sub-~200us latency count as "small response time" (comparable to
  * the worst-case client-side overhead the paper cites).

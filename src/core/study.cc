@@ -125,6 +125,32 @@ sweepTopologies(const std::vector<std::string> &configs,
 }
 
 StudyGrid
+sweepTrafficPolicies(const std::vector<std::string> &configs,
+                     const std::vector<svc::TrafficPolicy> &policies,
+                     const TrafficConfigFactory &factory,
+                     const RunnerOptions &opt,
+                     const std::function<void(const StudyCell &)> &progress)
+{
+    StudyGrid grid;
+    std::vector<ExperimentConfig> cellCfgs;
+    for (const std::string &config : configs) {
+        for (const svc::TrafficPolicy &policy : policies) {
+            ExperimentConfig cfg = factory(config, policy);
+            applyTrafficPolicy(cfg, policy);
+            StudyCell cell;
+            const std::string tag = policy.label();
+            cell.config = config + "/" + (tag.empty() ? "none" : tag);
+            cell.qps = cfg.gen.qps;
+            grid.cells.push_back(std::move(cell));
+            cellCfgs.push_back(std::move(cfg));
+        }
+    }
+
+    runGridCells(grid, cellCfgs, opt, progress);
+    return grid;
+}
+
+StudyGrid
 sweepFaultPlans(const std::vector<std::string> &configs,
                 const std::vector<fault::FaultPlan> &plans,
                 const FaultConfigFactory &factory,

@@ -81,6 +81,29 @@ sweepTopologies(const std::vector<std::string> &configs,
                 const std::function<void(const StudyCell &)> &progress =
                     nullptr);
 
+/** Builds an ExperimentConfig for a (label, traffic policy) pair. */
+using TrafficConfigFactory = std::function<ExperimentConfig(
+    const std::string &label, const svc::TrafficPolicy &policy)>;
+
+/**
+ * Run the grid of configurations x traffic policies: the swept axis
+ * is *how the service defends itself* (deadlines/retries, admission
+ * control, circuit breakers) at a fixed load, topology and fault
+ * plan. Cells are labelled "<config>/<policy.label()>" with the empty
+ * all-off policy rendered as "none" (e.g. "HP/none",
+ * "HP/+rt2000usx3+q64"). applyTrafficPolicy() lands the policy on the
+ * materialised config after the factory runs (so the factory may set
+ * topology and faults first), and execution goes through the same
+ * flat task bag, so grids are bit-identical at any parallelism.
+ */
+StudyGrid
+sweepTrafficPolicies(const std::vector<std::string> &configs,
+                     const std::vector<svc::TrafficPolicy> &policies,
+                     const TrafficConfigFactory &factory,
+                     const RunnerOptions &opt,
+                     const std::function<void(const StudyCell &)> &progress =
+                         nullptr);
+
 /** Builds an ExperimentConfig for a (label, fault plan) pair. */
 using FaultConfigFactory = std::function<ExperimentConfig(
     const std::string &label, const fault::FaultPlan &plan)>;

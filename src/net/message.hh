@@ -32,14 +32,34 @@ struct Message
     std::uint64_t parentId = 0;
     /** Shard index of a sub-request within its parent's fan-out. */
     std::uint16_t shard = 0;
-    /** Replica chosen to serve (or hedge) the shard. */
-    std::uint16_t replica = 0;
+    /**
+     * Replica chosen to serve (or hedge) the shard. A byte keeps
+     * Message inside its 64-byte budget now that deadlines ride
+     * along; 255 replicas per shard is far past any studied shape.
+     */
+    std::uint8_t replica = 0;
+    /** Application-specific opcode (e.g. GET/SET). */
+    std::uint8_t kind = 0;
     /** Connection the message belongs to (drives RSS / worker pinning). */
     std::uint32_t conn = 0;
     /** Wire size, for serialization delay. */
     std::uint32_t bytes = 0;
-    /** Application-specific opcode (e.g. GET/SET). */
-    std::uint8_t kind = 0;
+    /**
+     * Nominal service work (nanoseconds) the server spent producing
+     * this response; lets an aggregator account the work of a
+     * discarded (hedged loser) reply as duplicate. 32 bits bound one
+     * request's work at ~4.29 simulated seconds — orders of magnitude
+     * above any per-request work model here — and free the bytes the
+     * deadline needs.
+     */
+    std::uint32_t serviceWork = 0;
+    /**
+     * Per-attempt deadline (nanoseconds, relative to appSendTime)
+     * the sender armed for this sub-request; 0 = none. Carried on
+     * the wire so an admission controller can shed a request whose
+     * deadline already expired before queueing it.
+     */
+    std::uint32_t deadlineNs = 0;
     /** True for server -> client traffic. */
     bool isResponse = false;
     /**
@@ -50,12 +70,6 @@ struct Message
      * inline-callback capture budgets depend on.
      */
     bool tied = false;
-    /**
-     * Nominal service work the server spent producing this response;
-     * lets an aggregator account the work of a discarded (hedged
-     * loser) reply as duplicate.
-     */
-    Time serviceWork = 0;
 
     /**
      * When the generator's application code issued the request —

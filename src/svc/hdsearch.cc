@@ -38,6 +38,7 @@ HdSearchCluster::HdSearchCluster(Simulator &sim,
     bktP.work = lognormalWork(params_.bucketMean, params_.bucketSd);
     bktP.requestBytes = params_.subRequestBytes;
     bktP.responseBytes = params_.subResponseBytes;
+    bktP.admission = params_.traffic.admission;
     bucket_ = &graph_.addReplicatedTier(serverCfg, params_.replicas,
                                         std::move(bktP));
 
@@ -49,6 +50,7 @@ HdSearchCluster::HdSearchCluster(Simulator &sim,
     f.mergeWork = params_.midMergeWork;
     f.postWork = params_.midPostWork;
     f.link = params_.interLink;
+    f.traffic = params_.traffic;
     fanout_ = &graph_.addFanout(
         *midtier_, *bucket_, f, [this](const net::Message &req) {
             net::Message resp = req;

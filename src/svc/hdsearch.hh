@@ -60,6 +60,9 @@ struct HdSearchParams
     std::uint32_t responseBytes = 2048;
     /** Per-run environment factor sd on service times. */
     double runVariability = 0.015;
+    /** Traffic management: sub-request deadlines/retries and breakers
+     *  on the fan-out edge, admission control on the bucket tier. */
+    TrafficPolicy traffic{};
 };
 
 /**

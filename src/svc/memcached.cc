@@ -153,6 +153,7 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
                                             Rng &) {
         return etcResponseBytes(p, req, *lastValue);
     };
+    cacheP.admission = params_.traffic.admission;
     cache_ = &graph_.addReplicatedTier(serverCfg, params_.replicas,
                                        std::move(cacheP));
 
@@ -167,6 +168,7 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
     f.mergeWork = params_.routerMergeWork;
     f.postWork = 0;
     f.link = params_.interLink;
+    f.traffic = params_.traffic;
     fanout_ = &graph_.addFanout(
         *router_, *cache_, f, [this](const net::Message &req) {
             // req.bytes carries the cache shard's reply size (the

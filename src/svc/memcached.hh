@@ -92,6 +92,10 @@ struct MemcachedParams
     std::uint32_t subRequestBytes = 64;
     /** Router <-> cache hop. */
     net::Link::Params interLink{};
+    /** Traffic management: sub-request deadlines/retries and breakers
+     *  on the route-one edge, admission control on the cache tier
+     *  (cluster shape only — the single-tier server has no edge). */
+    TrafficPolicy traffic{};
 };
 
 /**

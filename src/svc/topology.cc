@@ -85,6 +85,7 @@ TopologyShape::label() const
         out += "+tied";
         break;
     }
+    out += traffic.label();
     return out;
 }
 
@@ -200,9 +201,60 @@ Tier::aliveReplica(int preferred) const
 void
 Tier::countLost()
 {
+    graph_.countLost(tierIndex_);
+}
+
+void
+Tier::noteLost(const net::Message &msg)
+{
+    if (graph_.absorbSubLoss(*this, msg))
+        return;
+    countLost();
+}
+
+bool
+Tier::shouldShed(Instance &inst, const net::Message &msg)
+{
+    const AdmissionPolicy &adm = params_.admission;
     ServiceStats &stats = graph_.mutableStats();
-    ++stats.requestsLost;
-    ++stats.tiers[static_cast<std::size_t>(tierIndex_)].requestsLost;
+    TierBreakdown &tb =
+        stats.tiers[static_cast<std::size_t>(tierIndex_)];
+    const Time now = graph_.sim().now();
+    // A request whose deadline already passed can only produce a
+    // reply the sender will discard: serving it is pure waste.
+    if (adm.dropExpired && msg.deadlineNs > 0 &&
+        now > msg.appSendTime + static_cast<Time>(msg.deadlineNs)) {
+        ++stats.requestsShedDelay;
+        ++tb.requestsShed;
+        return true;
+    }
+    if (adm.maxQueueDepth > 0 &&
+        inst.pool.serviceThread(msg.conn).queued() >=
+            static_cast<std::size_t>(adm.maxQueueDepth)) {
+        ++stats.requestsShedDepth;
+        ++tb.requestsShed;
+        return true;
+    }
+    if (adm.codelTarget > 0 && inst.aboveTargetSince != kTimeNever &&
+        now - inst.aboveTargetSince >= adm.codelInterval) {
+        // CoDel's standing-queue rule, observed where the queue is
+        // visible: completions (completeService) track whether served
+        // requests have been above the sojourn target, and once they
+        // have been *persistently* above for a whole interval, new
+        // arrivals are shed until one dips back under — a transient
+        // burst is tolerated, a standing queue is not. An empty
+        // worker queue ends the dropping state directly: the backlog
+        // is gone, and with nothing left to complete no observation
+        // could ever reset the marker.
+        if (inst.pool.serviceThread(msg.conn).queued() == 0) {
+            inst.aboveTargetSince = kTimeNever;
+            return false;
+        }
+        ++stats.requestsShedDelay;
+        ++tb.requestsShed;
+        return true;
+    }
+    return false;
 }
 
 void
@@ -213,7 +265,7 @@ Tier::onMessage(const net::Message &msg)
     // failover, client timeout) — exactly as in a real cluster.
     Instance &inst = instanceFor(msg);
     if (!inst.up) {
-        countLost();
+        noteLost(msg);
         return;
     }
     // Receive path: IRQ/softirq work on the connection's IRQ thread
@@ -230,9 +282,14 @@ Tier::dispatch(const net::Message &msg)
     Instance &inst = instanceFor(msg);
     if (!inst.up) {
         // The replica died between IRQ and dispatch.
-        countLost();
+        noteLost(msg);
         return;
     }
+    // Admission control runs before the work-model draw: a disabled
+    // (or non-shedding) policy must leave the RNG stream untouched so
+    // traffic knobs default to bit-identical behaviour.
+    if (params_.admission.enabled() && shouldShed(inst, msg))
+        return;
     Time work = params_.work(msg, graph_.rng());
     if (params_.envSensitive) {
         work = static_cast<Time>(graph_.envFactor() *
@@ -284,11 +341,23 @@ Tier::dispatch(const net::Message &msg)
 void
 Tier::completeService(const net::Message &msg, Time work)
 {
-    if (!instanceFor(msg).up) {
+    Instance &inst = instanceFor(msg);
+    if (!inst.up) {
         // The replica died while the work was queued or running: the
         // reply dies with it (in-flight requests error-complete).
-        countLost();
+        noteLost(msg);
         return;
+    }
+    if (params_.admission.codelTarget > 0) {
+        // Feed the CoDel state with the served request's sojourn
+        // (send to completion): this is where worker-queue standing
+        // delay actually shows, unlike the pre-queue dispatch point
+        // where admission acts.
+        const Time sojourn = graph_.sim().now() - msg.appSendTime;
+        if (sojourn < params_.admission.codelTarget)
+            inst.aboveTargetSince = kTimeNever;
+        else if (inst.aboveTargetSince == kTimeNever)
+            inst.aboveTargetSince = graph_.sim().now();
     }
     if (handler_)
         handler_(msg, work);
@@ -304,7 +373,7 @@ Tier::makeReply(const net::Message &msg, Time work)
     resp.bytes = params_.responseBytesFn
                      ? params_.responseBytesFn(msg, graph_.rng())
                      : params_.responseBytes;
-    resp.serviceWork = work;
+    resp.serviceWork = static_cast<std::uint32_t>(work);
     return resp;
 }
 
@@ -333,6 +402,20 @@ Fanout::Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
                "(adaptive uses it until the estimator warms up)");
     TPV_ASSERT(static_cast<bool>(onComplete_),
                "fanout needs a completion callback");
+    traffic_ = params_.traffic;
+    retryEnabled_ = traffic_.retry.enabled();
+    if (retryEnabled_) {
+        TPV_ASSERT(traffic_.retry.maxAttempts >= 1,
+                   "retry policy needs at least one attempt");
+        subDeadlineNs_ = static_cast<std::uint32_t>(
+            std::min<Time>(traffic_.retry.deadline, UINT32_MAX));
+        budget_ = RetryBudget(traffic_.retry);
+    }
+    if (traffic_.breaker.enabled()) {
+        breakers_.assign(static_cast<std::size_t>(params_.replicas),
+                         CircuitBreaker(traffic_.breaker));
+        breakerLatency_ = traffic_.breaker.latencyFactor > 0;
+    }
     // Child replies route through this fan-out's merge port.
     child_.setHandler([this](const net::Message &msg, Time work) {
         toParent_.send(child_.makeReply(msg, work), *mergePort_);
@@ -383,11 +466,12 @@ Fanout::makeSub(const net::Message &req, std::uint32_t slot, int shard,
     // The replica field routes the sub-request to its tier instance;
     // within an instance the connection spreads shards across workers
     // (parent connection in the high bits so related shards differ).
-    sub.replica = static_cast<std::uint16_t>(replica);
+    sub.replica = static_cast<std::uint8_t>(replica);
     sub.conn = req.conn * static_cast<std::uint32_t>(params_.shards) +
                static_cast<std::uint32_t>(shard);
     sub.bytes = child_.params().requestBytes;
     sub.tied = tied;
+    sub.deadlineNs = subDeadlineNs_;
     sub.appSendTime = graph_.sim().now();
     return sub;
 }
@@ -407,8 +491,22 @@ int
 Fanout::routeLive(std::uint64_t id, int shard)
 {
     const int primary = primaryReplica(id, shard, params_.replicas);
-    if (child_.replicaTrusted(primary))
+    if (child_.replicaTrusted(primary)) {
+        if (breakers_.empty() || breakerAllows(primary))
+            return primary;
+        // Open breaker on a trusted primary: prefer another trusted
+        // replica whose breaker admits traffic. When every candidate
+        // is blocked, send to the primary anyway — a breaker shifts
+        // load, it must never self-inflict a total outage.
+        for (int i = 1; i < params_.replicas; ++i) {
+            const int r = (primary + i) % params_.replicas;
+            if (child_.replicaTrusted(r) && breakerAllows(r)) {
+                ++graph_.mutableStats().breakerSkips;
+                return r;
+            }
+        }
         return primary;
+    }
     const int alive = child_.aliveReplica(primary + 1);
     if (alive >= 0) {
         // Detected-dead primary: route around it, as a client whose
@@ -458,6 +556,13 @@ Fanout::scatter(const net::Message &req)
     // unhedged hot path free of the extra per-query bookkeeping.
     if (timedHedging())
         call.hedges.assign(lanes, EventHandle{});
+    // Same rule for the retry bookkeeping: the no-deadline hot path
+    // touches none of it.
+    if (retryEnabled_) {
+        call.deadlines.assign(lanes, EventHandle{});
+        call.attempts.assign(lanes, 1);
+        call.dropped.assign(lanes, 0);
+    }
     if (params_.route) {
         const int routed = params_.route(req);
         TPV_ASSERT(routed >= 0 && routed < params_.shards,
@@ -474,7 +579,7 @@ Fanout::scatter(const net::Message &req)
             // is lost. Close the lane so a later crash notification
             // cannot mistake it for an outstanding sub-request and
             // resurrect an already-lost lane.
-            ++graph_.mutableStats().requestsLost;
+            graph_.countLost(child_.tierIndex());
             call.done[lane] = 1;
             continue;
         }
@@ -483,6 +588,10 @@ Fanout::scatter(const net::Message &req)
         const bool tiedCopies = policy_ == HedgePolicy::Tied;
         toChild_.send(makeSub(req, slot, shard, replica, tiedCopies),
                       child_);
+        if (retryEnabled_) {
+            budget_.earn();
+            armDeadline(call, lane, slot, req.id, shard);
+        }
         if (tiedCopies) {
             // The tied twin goes to the next replica immediately;
             // whichever copy starts first claims the request.
@@ -517,6 +626,128 @@ Fanout::fireHedge(std::uint32_t slot, std::uint64_t parentId, int shard)
     ++graph_.mutableStats().hedgesSent;
     toChild_.send(makeSub(call->request, slot, shard, replica, false),
                   child_);
+}
+
+void
+Fanout::armDeadline(RpcContext &call, std::size_t lane,
+                    std::uint32_t slot, std::uint64_t parentId,
+                    int shard)
+{
+    call.deadlines[lane] = graph_.sim().schedule(
+        traffic_.retry.deadline, [this, parentId, slot, shard] {
+            fireRetry(slot, parentId, shard);
+        });
+}
+
+void
+Fanout::fireRetry(std::uint32_t slot, std::uint64_t parentId, int shard)
+{
+    RpcContext *call = lookup(slot, parentId);
+    if (call == nullptr)
+        return; // the whole request completed and retired
+    const auto lane = static_cast<std::size_t>(shardToLane(shard));
+    if (call->done[lane])
+        return; // a reply beat the deadline after all
+    // The attempt timed out: that is failure evidence against the
+    // replica it was assigned to, whether the copy died in a crash,
+    // was shed, or is merely stuck in queue.
+    noteBreakerFailure(call->replicaOf[lane]);
+    ServiceStats &stats = graph_.mutableStats();
+    if (call->attempts[lane] >= traffic_.retry.maxAttempts ||
+        !budget_.tryAcquire()) {
+        ++stats.retriesSuppressed;
+        if (call->dropped[lane]) {
+            // The in-flight copy is known fault-dropped and no retry
+            // will replace it: the loss is now terminal.
+            call->dropped[lane] = 0;
+            graph_.countLost(child_.tierIndex());
+        }
+        return;
+    }
+    // Retry target: the next trusted replica (breaker permitting)
+    // after the one that timed out, the same replica when it is the
+    // only candidate left (it may have restarted by now).
+    const int current = call->replicaOf[lane];
+    int target = current;
+    for (int i = 1; i <= params_.replicas; ++i) {
+        const int r = (current + i) % params_.replicas;
+        if (!child_.replicaTrusted(r))
+            continue;
+        if (!breakers_.empty() && !breakerAllows(r))
+            continue;
+        target = r;
+        break;
+    }
+    ++call->attempts[lane];
+    call->dropped[lane] = 0;
+    call->replicaOf[lane] = static_cast<std::uint8_t>(target);
+    ++stats.requestsRetried;
+    // A retry racing its own original can produce a duplicate reply:
+    // reissues_ legalises it for the duplicate-discard assertion.
+    ++reissues_;
+    toChild_.send(makeSub(call->request, slot, shard, target, false),
+                  child_);
+    armDeadline(*call, lane, slot, parentId, shard);
+}
+
+bool
+Fanout::absorbLoss(const net::Message &msg)
+{
+    if (!retryEnabled_)
+        return false;
+    RpcContext *call =
+        lookup(static_cast<std::uint32_t>(msg.id), msg.parentId);
+    if (call == nullptr)
+        return false;
+    const auto lane = static_cast<std::size_t>(shardToLane(msg.shard));
+    if (call->done[lane]) {
+        // A loser copy (hedge, tied twin, stale retry) died with the
+        // fault after the lane was already served: nothing the client
+        // cares about was lost.
+        ++graph_.mutableStats().subRequestsDropped;
+        return true;
+    }
+    if (!graph_.sim().pending(call->deadlines[lane]))
+        return false;
+    // A deadline timer covers this lane: the coming fireRetry() (or
+    // its suppression) decides whether the loss becomes terminal.
+    call->dropped[lane] = 1;
+    ++graph_.mutableStats().subRequestsDropped;
+    return true;
+}
+
+bool
+Fanout::breakerAllows(int replica)
+{
+    CircuitBreaker &br = breakers_[static_cast<std::size_t>(replica)];
+    const auto before = br.state();
+    const bool ok = br.allow(graph_.sim().now());
+    if (ok && before != CircuitBreaker::State::Closed)
+        ++graph_.mutableStats().breakerProbes;
+    return ok;
+}
+
+void
+Fanout::noteBreakerFailure(int replica)
+{
+    if (breakers_.empty())
+        return;
+    CircuitBreaker &br = breakers_[static_cast<std::size_t>(replica)];
+    if (br.onFailure(graph_.sim().now()))
+        ++graph_.mutableStats().breakerOpens;
+}
+
+void
+Fanout::noteBreakerSuccess(int replica, Time rtt)
+{
+    if (breakerLatency_ && replyP95_.isWarm() &&
+        static_cast<double>(rtt) >
+            traffic_.breaker.latencyFactor * replyP95_.estimate()) {
+        // Accepted but pathologically slow: latency-trip evidence.
+        noteBreakerFailure(replica);
+        return;
+    }
+    breakers_[static_cast<std::size_t>(replica)].onSuccess();
 }
 
 bool
@@ -576,7 +807,17 @@ Fanout::onReplicaDown(int replica)
             const int shard = laneToShard(call, static_cast<int>(lane));
             const int target = child_.aliveReplica(replica + 1);
             if (target < 0) {
-                ++graph_.mutableStats().requestsLost;
+                // No trusted replica to re-issue to. A pending
+                // deadline timer still covers the lane — its retry
+                // (to a possibly-restarted replica) or suppression
+                // decides the loss; otherwise it is terminal now.
+                if (retryEnabled_ &&
+                    graph_.sim().pending(call.deadlines[lane])) {
+                    call.dropped[lane] = 1;
+                    ++graph_.mutableStats().subRequestsDropped;
+                } else {
+                    graph_.countLost(child_.tierIndex());
+                }
                 continue;
             }
             // Connection-reset recovery: re-issue the sub-request to
@@ -584,6 +825,8 @@ Fanout::onReplicaDown(int replica)
             // work resurfacing after a restart, or a racing hedge)
             // is discarded by the usual first-reply-wins rule.
             call.replicaOf[lane] = static_cast<std::uint8_t>(target);
+            if (retryEnabled_)
+                call.dropped[lane] = 0;
             ++graph_.mutableStats().requestsFailedOver;
             ++reissues_;
             toChild_.send(makeSub(call.request, slot, shard, target,
@@ -598,10 +841,9 @@ Fanout::onReply(const net::Message &reply)
 {
     // Every reply teaches the streaming estimator, losers included —
     // they are real observations of the tier's service behaviour.
-    // Only the Adaptive policy pays for the update: nothing consumes
-    // the estimate under the other policies, and this is a per-reply
-    // hot path.
-    if (policy_ == HedgePolicy::Adaptive) {
+    // Only consumers of the estimate (Adaptive hedging, the breaker
+    // latency trip) pay for the update: this is a per-reply hot path.
+    if (policy_ == HedgePolicy::Adaptive || breakerLatency_) {
         replyP95_.observe(static_cast<double>(graph_.sim().now() -
                                               reply.appSendTime));
         graph_.mutableStats()
@@ -629,6 +871,12 @@ Fanout::onReply(const net::Message &reply)
     call.done[lane] = 1;
     if (timedHedging() && graph_.sim().cancel(call.hedges[lane]))
         ++graph_.mutableStats().hedgesCancelled;
+    if (retryEnabled_)
+        graph_.sim().cancel(call.deadlines[lane]);
+    if (!breakers_.empty()) {
+        noteBreakerSuccess(reply.replica,
+                           graph_.sim().now() - reply.appSendTime);
+    }
 
     // The parent message handed to the completion carries the last
     // accepted reply's wire size, so single-lane (route-one)
@@ -692,7 +940,7 @@ ServiceGraph::addTier(hw::Machine &machine, TierParams params)
         std::make_unique<Tier>(*this, machine, std::move(params)));
     Tier &t = *tiers_.back();
     t.tierIndex_ = static_cast<int>(stats_.tiers.size());
-    stats_.tiers.push_back(TierBreakdown{t.params().name, 0, 0, 0, 0, 0});
+    stats_.tiers.push_back(TierBreakdown{t.params().name});
     return t;
 }
 
@@ -716,7 +964,7 @@ ServiceGraph::addReplicatedTier(const hw::HwConfig &cfg, int replicas,
                                std::move(params)));
     Tier &t = *tiers_.back();
     t.tierIndex_ = static_cast<int>(stats_.tiers.size());
-    stats_.tiers.push_back(TierBreakdown{t.params().name, 0, 0, 0, 0, 0});
+    stats_.tiers.push_back(TierBreakdown{t.params().name});
     return t;
 }
 
@@ -737,6 +985,25 @@ ServiceGraph::notifyReplicaDown(Tier &tier, int replica)
         if (&f->child() == &tier)
             f->onReplicaDown(replica);
     }
+}
+
+void
+ServiceGraph::countLost(int tierIndex)
+{
+    ++stats_.requestsLost;
+    ++stats_.tiers.at(static_cast<std::size_t>(tierIndex)).requestsLost;
+}
+
+bool
+ServiceGraph::absorbSubLoss(Tier &tier, const net::Message &msg)
+{
+    // Only a fan-out whose child is the dropping tier can own the
+    // message: its sub-request ids are that fan-out's context slots.
+    for (auto &f : fanouts_) {
+        if (&f->child() == &tier && f->absorbLoss(msg))
+            return true;
+    }
+    return false;
 }
 
 net::Link &

@@ -42,6 +42,7 @@
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "stats/streaming_quantile.hh"
+#include "svc/traffic.hh"
 #include "svc/worker_pool.hh"
 
 namespace tpv {
@@ -59,6 +60,9 @@ struct TierBreakdown
     /** Requests lost on this tier (dead-replica arrivals, replies
      *  that died with a crashed replica). */
     std::uint64_t requestsLost = 0;
+    /** Requests shed by this tier's admission control (depth and
+     *  delay variants combined; not part of requestsLost). */
+    std::uint64_t requestsShed = 0;
     /** Fault windows opened against this tier. */
     std::uint64_t faultsInjected = 0;
     /** Streaming p95 of sub-request round-trips *into* this tier, as
@@ -95,10 +99,36 @@ struct ServiceStats
     /** Sub-requests re-routed or re-issued around a dead replica. */
     std::uint64_t requestsFailedOver = 0;
     /** Requests dropped by faults: dead-replica arrivals, replies
-     *  that died with their replica, injected link loss. */
+     *  that died with their replica, injected link loss. With
+     *  deadline/retry traffic policies this counts *terminal* losses
+     *  only — a drop covered by a pending retry is accounted in
+     *  subRequestsDropped until the retry budget or attempt cap
+     *  decides its fate. */
     std::uint64_t requestsLost = 0;
     /** Simulated time spent inside stop-the-world pause windows. */
     Time pauseTime = 0;
+    /** Sub-requests re-issued because a per-attempt deadline expired
+     *  (the traffic layer's client-side retries). */
+    std::uint64_t requestsRetried = 0;
+    /** Deadline expiries that wanted a retry but were denied by the
+     *  attempt cap or an empty retry budget. */
+    std::uint64_t retriesSuppressed = 0;
+    /** Fault-dropped sub-request copies absorbed by the retry layer
+     *  instead of counting as lost (a pending deadline covers the
+     *  lane, or the lane was already served by another copy). */
+    std::uint64_t subRequestsDropped = 0;
+    /** Requests shed by admission control on queue depth. */
+    std::uint64_t requestsShedDepth = 0;
+    /** Requests shed by admission control on sojourn delay (CoDel
+     *  variant) or an already-expired deadline. */
+    std::uint64_t requestsShedDelay = 0;
+    /** Circuit-breaker transitions into the Open state. */
+    std::uint64_t breakerOpens = 0;
+    /** Primary sub-requests routed to another replica because the
+     *  primary's breaker was open. */
+    std::uint64_t breakerSkips = 0;
+    /** Half-open probe requests admitted through a breaker. */
+    std::uint64_t breakerProbes = 0;
     /** Per-tier breakdown (ServiceGraph services; empty otherwise). */
     std::vector<TierBreakdown> tiers;
 };
@@ -155,9 +185,13 @@ struct TopologyShape
     Time hedgeDelay = 0;
     /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
     HedgePolicy policy = HedgePolicy::Auto;
+    /** Traffic-management knobs (deadlines/retries, shedding,
+     *  breakers); all default off. */
+    TrafficPolicy traffic{};
 
     /** "s8", "s8r2", "s8r2+h300us", "s8r2+ah300us", "s8r2+tied"
-     *  style tag for study cells. */
+     *  style tag for study cells, with the traffic policy's tag
+     *  (e.g. "+rt2000usx3+q64") appended when one is set. */
     std::string label() const;
 };
 
@@ -197,6 +231,15 @@ struct TierParams
      * work, but not the HDSearch midtier's fixed parse/merge costs).
      */
     bool envSensitive = true;
+    /**
+     * Admission control at this tier's worker queues; off by
+     * default. A shed request is counted (requestsShedDepth /
+     * requestsShedDelay, TierBreakdown::requestsShed) and silently
+     * dropped — recovery is the sender's business, exactly like a
+     * fault drop, so pair shedding with deadlines/retries when the
+     * caller must not strand.
+     */
+    AdmissionPolicy admission{};
 };
 
 class ServiceGraph;
@@ -328,6 +371,10 @@ class Tier : public net::Endpoint
         bool suspected = false;
         /** Service-time multiplier of a slowdown fault (1 = healthy). */
         double slowFactor = 1.0;
+        /** CoDel shedding: when dispatched sojourns first exceeded
+         *  the target without dipping back under (kTimeNever while
+         *  under target). */
+        Time aboveTargetSince = kTimeNever;
     };
 
     /** The instance serving @p msg (replica clamped to the count). */
@@ -342,6 +389,18 @@ class Tier : public net::Endpoint
 
     /** Count a request lost to a fault on this tier. */
     void countLost();
+
+    /**
+     * A fault dropped @p msg on this tier: let a covering retry
+     * absorb the loss (ServiceGraph::absorbSubLoss), else count it
+     * lost for good.
+     */
+    void noteLost(const net::Message &msg);
+
+    /** Admission control: should @p msg be shed instead of queued?
+     *  Counts the shed when it says yes. Runs before the work-model
+     *  draw so a disabled policy leaves the RNG stream untouched. */
+    bool shouldShed(Instance &inst, const net::Message &msg);
 
     ServiceGraph &graph_;
     TierParams params_;
@@ -377,6 +436,16 @@ struct FanoutParams
     Time postWork = 0;
     /** Link parameters of the parent <-> child hops. */
     net::Link::Params link{};
+    /**
+     * Traffic management on this edge: per-attempt deadlines with
+     * budgeted retries (the sender's own recovery from sub-requests
+     * swallowed by undetected crashes or shed by the child) and
+     * per-replica circuit breakers. The admission half of a
+     * TrafficPolicy lives on the *child tier* (TierParams::admission);
+     * it is carried here too so shape-level plumbing can hand one
+     * policy object down both paths.
+     */
+    TrafficPolicy traffic{};
 };
 
 /**
@@ -445,6 +514,18 @@ class Fanout
      */
     void onReplicaDown(int replica);
 
+    /**
+     * A fault just dropped sub-request (or sub-reply) @p msg inside
+     * the child tier. @return true when the retry layer absorbs the
+     * loss — either the lane was already served by another copy, or
+     * a per-attempt deadline timer is still pending, so the coming
+     * fireRetry() (not this drop) decides whether the request is
+     * terminally lost. Counted in subRequestsDropped either way.
+     * Always false when deadlines/retries are off, keeping fault
+     * accounting byte-identical to the pre-traffic behaviour.
+     */
+    bool absorbLoss(const net::Message &msg);
+
   private:
     struct RpcContext
     {
@@ -464,6 +545,13 @@ class Fanout
         std::vector<std::uint8_t> replicaOf;
         /** Per lane: armed hedge timer. */
         std::vector<EventHandle> hedges;
+        /** Per lane: armed per-attempt deadline timer (retries on). */
+        std::vector<EventHandle> deadlines;
+        /** Per lane: attempts issued so far (retries on). */
+        std::vector<std::uint8_t> attempts;
+        /** Per lane: the in-flight copy is known fault-dropped; a
+         *  suppressed retry turns this into a terminal loss. */
+        std::vector<std::uint8_t> dropped;
     };
 
     /** Lanes per context: 1 when routing, shards when scattering. */
@@ -505,6 +593,27 @@ class Fanout
     net::Message makeSub(const net::Message &req, std::uint32_t slot,
                          int shard, int replica, bool tied) const;
     void fireHedge(std::uint32_t slot, std::uint64_t parentId, int shard);
+
+    /** Per-attempt deadline expired on (slot, shard): re-issue the
+     *  sub-request if the attempt cap and retry budget allow. */
+    void fireRetry(std::uint32_t slot, std::uint64_t parentId, int shard);
+
+    /** Arm the per-attempt deadline timer of (slot, lane). */
+    void armDeadline(RpcContext &call, std::size_t lane,
+                     std::uint32_t slot, std::uint64_t parentId,
+                     int shard);
+
+    /** Breaker gate for @p replica (true when breakers are off).
+     *  Counts half-open probes it admits. */
+    bool breakerAllows(int replica);
+
+    /** Failure evidence against @p replica (counts breaker opens). */
+    void noteBreakerFailure(int replica);
+
+    /** An accepted reply from @p replica took @p rtt: success, or —
+     *  when the latency trip is armed and the estimator warm — a
+     *  too-slow failure. */
+    void noteBreakerSuccess(int replica, Time rtt);
     bool admitTied(std::uint32_t token, std::uint64_t parentId,
                    std::uint16_t shard, std::uint16_t replica);
     void onReply(const net::Message &reply);
@@ -531,6 +640,18 @@ class Fanout
     stats::StreamingQuantile replyP95_;
     /** Failover re-issues performed (legalises duplicate replies). */
     std::uint64_t reissues_ = 0;
+    /** Traffic-management knobs of this edge (copied from params). */
+    TrafficPolicy traffic_{};
+    /** Deadlines/retries armed (traffic_.retry.enabled()). */
+    bool retryEnabled_ = false;
+    /** retry.deadline clamped into Message::deadlineNs's 32 bits. */
+    std::uint32_t subDeadlineNs_ = 0;
+    /** Latency-tripped breakers consume the streaming p95. */
+    bool breakerLatency_ = false;
+    /** Token bucket limiting retry volume. */
+    RetryBudget budget_;
+    /** Per-replica breakers (empty when breakers are off). */
+    std::vector<CircuitBreaker> breakers_;
 };
 
 /**
@@ -603,6 +724,23 @@ class ServiceGraph : public net::Endpoint
      * Tier::setReplicaUp(replica, false).
      */
     void notifyReplicaDown(Tier &tier, int replica);
+
+    /**
+     * Count one request terminally lost on tier @p tierIndex — the
+     * single bump site for both the graph total and the per-tier
+     * breakdown, so requestsLost always equals the sum over tiers.
+     * (Injected link loss is the documented exception: a link does
+     * not belong to a tier, so fault::Injector counts it at graph
+     * level only.)
+     */
+    void countLost(int tierIndex);
+
+    /**
+     * A fault dropped @p msg inside @p tier: offer the loss to every
+     * fan-out feeding that tier. @return true when one absorbed it
+     * (see Fanout::absorbLoss).
+     */
+    bool absorbSubLoss(Tier &tier, const net::Message &msg);
 
     const ServiceStats &stats() const { return stats_; }
     ServiceStats &mutableStats() { return stats_; }

@@ -39,6 +39,32 @@ TEST(StreamingQuantile, EmptyAndBootstrap)
     EXPECT_EQ(est.count(), 3u);
 }
 
+TEST(StreamingQuantile, WarmupIsExplicit)
+{
+    // Consumers gating decisions on the estimate (the breaker's
+    // latency trip, adaptive hedging) need to know when it is still
+    // the bootstrap fallback: isWarm() flips exactly when the P^2
+    // markers exist, at the fifth observation.
+    StreamingQuantile est(0.95);
+    EXPECT_FALSE(est.isWarm());
+    EXPECT_EQ(est.estimate(), 0.0); // n=0: nothing to report
+    const double xs[] = {5.0, 2.0, 9.0, 4.0};
+    double maxSeen = 0.0;
+    for (double x : xs) {
+        est.observe(x);
+        maxSeen = std::max(maxSeen, x);
+        EXPECT_FALSE(est.isWarm());
+        // n in 1..4: the conservative max-so-far stand-in.
+        EXPECT_EQ(est.estimate(), maxSeen);
+    }
+    est.observe(1.0);
+    EXPECT_TRUE(est.isWarm());
+    EXPECT_EQ(est.count(), 5u);
+    // Warm now: a real marker-based estimate, bounded by the sample.
+    EXPECT_GE(est.estimate(), 1.0);
+    EXPECT_LE(est.estimate(), 9.0);
+}
+
 TEST(StreamingQuantile, ConvergesOnUniformStream)
 {
     // Uniform [0, 1000): p95 should land near 950.
