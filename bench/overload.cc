@@ -16,11 +16,15 @@
  *          plateaus at capacity;
  *   codel  CoDel-style delay shedding: admit until the sojourn of
  *          completed requests stays above target for a full
- *          interval — the same plateau into moderate overload,
- *          reached by watching delay instead of depth. (This is the
- *          simple on/off variant: at extreme overload its admit
- *          phases let in oversized bursts, so the plateau sags where
- *          the depth limit's hard cap holds.)
+ *          interval, then shed one arrival per control-law instant —
+ *          the k-th drop comes interval/sqrt(k) after the previous
+ *          (RFC 8289), so the drop rate ramps until the standing
+ *          queue drains instead of flapping between full admit and
+ *          full drop. Law drops are query-coherent (a shed
+ *          sub-request takes its siblings with it) and instants that
+ *          pass between arrival bursts are repaid as drop debt, so
+ *          the plateau holds with the depth limit's out to ~5x
+ *          overload, reached by watching delay instead of depth.
  *
  * Reported per (load, policy): goodput in KQPS, the fraction of
  * offered load answered within the SLO, and sheds per run. A final
@@ -91,8 +95,13 @@ main()
     svc::TrafficPolicy depth;
     depth.admission.maxQueueDepth = 4;
     svc::TrafficPolicy codel;
-    codel.admission.codelTarget = msec(1);
-    codel.admission.codelInterval = msec(1);
+    // Target well under the SLO so admitted queries clear it with
+    // room for the scatter max; a short interval because the sqrt
+    // ramp's time to reach a drop rate R is ~2*interval^2*R — at
+    // datacenter request rates a WAN-scale interval never catches a
+    // step overload inside the window.
+    codel.admission.codelTarget = usec(500);
+    codel.admission.codelInterval = usec(200);
     const std::vector<Policy> policies = {
         {"none", svc::TrafficPolicy{}},
         {"depth", depth},

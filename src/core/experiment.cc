@@ -116,6 +116,8 @@ applyTopology(ExperimentConfig &cfg, const svc::TopologyShape &shape)
     cfg.memcached.hedgePolicy = shape.policy;
     cfg.hdsearch.traffic = shape.traffic;
     cfg.memcached.traffic = shape.traffic;
+    if (shape.cache.enabled())
+        applyCacheShape(cfg, shape.cache);
 }
 
 void
@@ -124,6 +126,33 @@ applyTrafficPolicy(ExperimentConfig &cfg, const svc::TrafficPolicy &policy)
     cfg.topology.traffic = policy;
     cfg.hdsearch.traffic = policy;
     cfg.memcached.traffic = policy;
+}
+
+void
+applyCacheShape(ExperimentConfig &cfg, const svc::CacheShape &shape)
+{
+    cfg.topology.cache = shape;
+    cfg.memcached.cache = shape;
+    cfg.memcached.etc.keys = shape.keys;
+    cfg.memcached.etc.skew = shape.skew;
+    if (!shape.enabled() || cfg.workload != WorkloadKind::Memcached)
+        return;
+    // Keyed ETC request model: same op/key-size draws as the unkeyed
+    // one, plus the Zipf rank on the wire; SET values are a property
+    // of the key (valueBytesForKey) so the cache, the backing store
+    // and the generator agree on every key's size.
+    const svc::EtcModel etc = cfg.memcached.etc;
+    const svc::ZipfSampler zipf(shape.keys, shape.skew);
+    cfg.gen.requestModel = [etc, zipf](Rng &rng, net::Message &req) {
+        const svc::MemcachedOp op = etc.sampleOp(rng);
+        req.kind = static_cast<std::uint8_t>(op);
+        req.key = static_cast<std::uint32_t>(zipf(rng));
+        const std::uint32_t keyBytes = etc.sampleKeyBytes(rng);
+        const std::uint32_t value =
+            op == svc::MemcachedOp::Set ? etc.valueBytesForKey(req.key)
+                                        : 0;
+        req.bytes = etc.requestBytes(op, keyBytes, value);
+    };
 }
 
 namespace {
@@ -186,8 +215,10 @@ runOnce(const ExperimentConfig &cfg)
     };
     switch (cfg.workload) {
       case WorkloadKind::Memcached:
-        if (cfg.memcached.shards > 1 || cfg.memcached.replicas > 1) {
-            // Widened shape: the key-hash-routed cluster.
+        if (cfg.memcached.shards > 1 || cfg.memcached.replicas > 1 ||
+            cfg.memcached.cache.enabled()) {
+            // Widened (or keyed finite-cache) shape: the
+            // key-hash-routed cluster.
             adopt(std::make_unique<svc::MemcachedCluster>(
                 sim, cfg.server, serverToClient, gen, rootRng.fork(),
                 cfg.memcached));

@@ -121,6 +121,19 @@ void applyTopology(ExperimentConfig &cfg,
 void applyTrafficPolicy(ExperimentConfig &cfg,
                         const svc::TrafficPolicy &policy);
 
+/**
+ * Apply a cache shape to @p cfg without touching the rest of the
+ * topology: the shape lands on the memcached cluster (which runOnce
+ * selects whenever a cache is enabled) and, for the Memcached
+ * workload, the generator's request model is re-bound to the keyed
+ * one — every request draws a Zipf rank over shape.keys and carries
+ * it in Message::key. A disabled shape records itself and leaves the
+ * historical unkeyed model in place. Sweep this axis with
+ * core::sweepCacheShapes().
+ */
+void applyCacheShape(ExperimentConfig &cfg,
+                     const svc::CacheShape &shape);
+
 /** Metrics of a single run (one repetition). */
 struct RunResult
 {

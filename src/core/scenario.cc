@@ -23,7 +23,8 @@ Scenario::label() const
     if (topology.shards > 1 || topology.replicas > 1 ||
         topology.hedgeDelay > 0 ||
         (topology.policy != svc::HedgePolicy::Auto &&
-         topology.policy != svc::HedgePolicy::None)) {
+         topology.policy != svc::HedgePolicy::None) ||
+        topology.cache.enabled()) {
         out += ", topo ";
         out += topology.label();
     }
@@ -162,6 +163,43 @@ trafficScenarios()
             s.topology.traffic = policy;
             s.faultPlan = plan;
             s.sections = "traffic extension";
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+std::vector<Scenario>
+cacheScenarios()
+{
+    // A sharded, key-pinned memcached tier behind finite caches: the
+    // swept shapes cross capacity (comfortable vs. starved) with the
+    // eviction axis on a skewed keyspace. Small response times keep
+    // cache hits inside the client-overhead regime; the miss cascade
+    // to the backing store is what pushes rows out of it.
+    const auto shaped = [](std::uint64_t capacity,
+                           svc::EvictionPolicy eviction, bool cold) {
+        svc::CacheShape c;
+        c.keys = 1 << 16;
+        c.skew = 0.99;
+        c.capacityEntries = capacity;
+        c.eviction = eviction;
+        c.coldStart = cold;
+        return c;
+    };
+    const std::vector<svc::CacheShape> shapes = {
+        shaped(1 << 14, svc::EvictionPolicy::Lru, false),
+        shaped(1 << 10, svc::EvictionPolicy::Lru, false),
+        shaped(1 << 10, svc::EvictionPolicy::Slru, false),
+        shaped(1 << 14, svc::EvictionPolicy::Lru, true),
+    };
+    std::vector<Scenario> out;
+    for (const Scenario &base : tableIIIScenarios()) {
+        for (const svc::CacheShape &shape : shapes) {
+            Scenario s = base;
+            s.topology = svc::TopologyShape{8, 1, 0};
+            s.topology.cache = shape;
+            s.sections = "cache extension";
             out.push_back(std::move(s));
         }
     }

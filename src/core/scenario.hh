@@ -115,6 +115,17 @@ std::vector<Scenario> faultScenarios();
 std::vector<Scenario> trafficScenarios();
 
 /**
+ * Table III's rows crossed with finite-cache shapes on a sharded,
+ * key-pinned memcached tier: a comfortable LRU cache, a starved one,
+ * the starved capacity under SLRU, and a cold start. Cache hits keep
+ * the service response small — squarely in the regime where
+ * client-side measurement error matters — while the miss cascade to
+ * the backing store stretches the tail the way a real cache wall
+ * does.
+ */
+std::vector<Scenario> cacheScenarios();
+
+/**
  * Classify an arbitrary setup the way Table III would: services with
  * sub-~200us latency count as "small response time" (comparable to
  * the worst-case client-side overhead the paper cites).

@@ -42,12 +42,8 @@ StudyGrid::loads() const
     return out;
 }
 
-namespace {
+namespace detail {
 
-/**
- * Execute pre-materialised cells as one flat scheduler bag and fill
- * the grid, reporting each fully aggregated cell through @p progress.
- */
 void
 runGridCells(StudyGrid &grid,
              const std::vector<ExperimentConfig> &cellCfgs,
@@ -70,7 +66,7 @@ runGridCells(StudyGrid &grid,
     }
 }
 
-} // namespace
+} // namespace detail
 
 StudyGrid
 sweep(const std::vector<std::string> &configs,
@@ -78,25 +74,7 @@ sweep(const std::vector<std::string> &configs,
       const RunnerOptions &opt,
       const std::function<void(const StudyCell &)> &progress)
 {
-    // Materialise every cell up front (config-major, matching the
-    // historical iteration order) so the grid layout is independent
-    // of execution order, then run the whole grid as one flat bag of
-    // (cell, repetition) tasks: workers never idle at a cell boundary
-    // while another cell still has repetitions to run.
-    StudyGrid grid;
-    std::vector<ExperimentConfig> cellCfgs;
-    for (const std::string &config : configs) {
-        for (double qps : loads) {
-            StudyCell cell;
-            cell.config = config;
-            cell.qps = qps;
-            grid.cells.push_back(std::move(cell));
-            cellCfgs.push_back(factory(config, qps));
-        }
-    }
-
-    runGridCells(grid, cellCfgs, opt, progress);
-    return grid;
+    return sweepAxis<LoadAxis>(configs, loads, factory, opt, progress);
 }
 
 StudyGrid
@@ -106,22 +84,8 @@ sweepTopologies(const std::vector<std::string> &configs,
                 const RunnerOptions &opt,
                 const std::function<void(const StudyCell &)> &progress)
 {
-    StudyGrid grid;
-    std::vector<ExperimentConfig> cellCfgs;
-    for (const std::string &config : configs) {
-        for (const svc::TopologyShape &shape : shapes) {
-            ExperimentConfig cfg = factory(config, shape);
-            applyTopology(cfg, shape);
-            StudyCell cell;
-            cell.config = config + "/" + shape.label();
-            cell.qps = cfg.gen.qps;
-            grid.cells.push_back(std::move(cell));
-            cellCfgs.push_back(std::move(cfg));
-        }
-    }
-
-    runGridCells(grid, cellCfgs, opt, progress);
-    return grid;
+    return sweepAxis<TopologyAxis>(configs, shapes, factory, opt,
+                                   progress);
 }
 
 StudyGrid
@@ -131,23 +95,8 @@ sweepTrafficPolicies(const std::vector<std::string> &configs,
                      const RunnerOptions &opt,
                      const std::function<void(const StudyCell &)> &progress)
 {
-    StudyGrid grid;
-    std::vector<ExperimentConfig> cellCfgs;
-    for (const std::string &config : configs) {
-        for (const svc::TrafficPolicy &policy : policies) {
-            ExperimentConfig cfg = factory(config, policy);
-            applyTrafficPolicy(cfg, policy);
-            StudyCell cell;
-            const std::string tag = policy.label();
-            cell.config = config + "/" + (tag.empty() ? "none" : tag);
-            cell.qps = cfg.gen.qps;
-            grid.cells.push_back(std::move(cell));
-            cellCfgs.push_back(std::move(cfg));
-        }
-    }
-
-    runGridCells(grid, cellCfgs, opt, progress);
-    return grid;
+    return sweepAxis<TrafficPolicyAxis>(configs, policies, factory, opt,
+                                        progress);
 }
 
 StudyGrid
@@ -157,22 +106,8 @@ sweepFaultPlans(const std::vector<std::string> &configs,
                 const RunnerOptions &opt,
                 const std::function<void(const StudyCell &)> &progress)
 {
-    StudyGrid grid;
-    std::vector<ExperimentConfig> cellCfgs;
-    for (const std::string &config : configs) {
-        for (const fault::FaultPlan &plan : plans) {
-            ExperimentConfig cfg = factory(config, plan);
-            cfg.faultPlan = plan;
-            StudyCell cell;
-            cell.config = config + "/" + plan.label();
-            cell.qps = cfg.gen.qps;
-            grid.cells.push_back(std::move(cell));
-            cellCfgs.push_back(std::move(cfg));
-        }
-    }
-
-    runGridCells(grid, cellCfgs, opt, progress);
-    return grid;
+    return sweepAxis<FaultPlanAxis>(configs, plans, factory, opt,
+                                    progress);
 }
 
 StudyGrid
@@ -182,40 +117,18 @@ sweepProfiles(const std::vector<std::string> &configs,
               const RunnerOptions &opt,
               const std::function<void(const StudyCell &)> &progress)
 {
-    // Label profiles by kind, disambiguating repeats ("diurnal",
-    // "diurnal#2", ...) so two profiles of the same kind keep
-    // distinct, addressable cells.
-    std::vector<std::string> shapeNames(profiles.size());
-    for (std::size_t i = 0; i < profiles.size(); ++i) {
-        std::string name = toString(profiles[i].kind);
-        std::size_t repeat = 1;
-        for (std::size_t j = 0; j < i; ++j) {
-            if (profiles[j].kind == profiles[i].kind)
-                ++repeat;
-        }
-        if (repeat > 1) {
-            name += '#';
-            name += std::to_string(repeat);
-        }
-        shapeNames[i] = std::move(name);
-    }
+    return sweepAxis<ProfileAxis>(configs, profiles, factory, opt,
+                                  progress);
+}
 
-    StudyGrid grid;
-    std::vector<ExperimentConfig> cellCfgs;
-    for (const std::string &config : configs) {
-        for (std::size_t p = 0; p < profiles.size(); ++p) {
-            ExperimentConfig cfg = factory(config, profiles[p]);
-            cfg.gen.profile = profiles[p];
-            StudyCell cell;
-            cell.config = config + "/" + shapeNames[p];
-            cell.qps = cfg.gen.qps; // the base (unmodulated) rate
-            grid.cells.push_back(std::move(cell));
-            cellCfgs.push_back(std::move(cfg));
-        }
-    }
-
-    runGridCells(grid, cellCfgs, opt, progress);
-    return grid;
+StudyGrid
+sweepCacheShapes(const std::vector<std::string> &configs,
+                 const std::vector<svc::CacheShape> &shapes,
+                 const CacheConfigFactory &factory,
+                 const RunnerOptions &opt,
+                 const std::function<void(const StudyCell &)> &progress)
+{
+    return sweepAxis<CacheAxis>(configs, shapes, factory, opt, progress);
 }
 
 double

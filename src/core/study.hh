@@ -45,6 +45,190 @@ struct StudyGrid
 using ConfigFactory =
     std::function<ExperimentConfig(const std::string &label, double qps)>;
 
+namespace detail {
+
+/**
+ * Execute pre-materialised cells as one flat scheduler bag and fill
+ * the grid, reporting each fully aggregated cell through @p progress.
+ */
+void runGridCells(StudyGrid &grid,
+                  const std::vector<ExperimentConfig> &cellCfgs,
+                  const RunnerOptions &opt,
+                  const std::function<void(const StudyCell &)> &progress);
+
+} // namespace detail
+
+// ---------------------------------------------------------------------
+// The generic sweep axis. Every sweep*() helper below is a thin
+// wrapper over sweepAxis<Axis>() — one Axis struct per sweepable
+// dimension names the swept Value and says how a value labels its
+// cells, how it lands on a materialised config, and which QPS the
+// cell records. There is exactly one sweep-grid loop in the tree.
+// ---------------------------------------------------------------------
+
+/** Axis of stationary load points (the original sweep dimension).
+ *  The factory receives the QPS and bakes it in, so applying is a
+ *  no-op and cells keep their bare configuration name. */
+struct LoadAxis
+{
+    using Value = double;
+    static std::string label(const Value &) { return {}; }
+    static void apply(ExperimentConfig &, const Value &) {}
+    static double qps(const ExperimentConfig &, const Value &v)
+    {
+        return v;
+    }
+};
+
+/** Axis of service-topology shapes (shards / replicas / hedging). */
+struct TopologyAxis
+{
+    using Value = svc::TopologyShape;
+    static std::string label(const Value &v) { return v.label(); }
+    static void apply(ExperimentConfig &cfg, const Value &v)
+    {
+        applyTopology(cfg, v);
+    }
+    static double qps(const ExperimentConfig &cfg, const Value &)
+    {
+        return cfg.gen.qps;
+    }
+};
+
+/** Axis of traffic-management policies; the empty all-off policy
+ *  renders as "none". */
+struct TrafficPolicyAxis
+{
+    using Value = svc::TrafficPolicy;
+    static std::string label(const Value &v)
+    {
+        const std::string tag = v.label();
+        return tag.empty() ? "none" : tag;
+    }
+    static void apply(ExperimentConfig &cfg, const Value &v)
+    {
+        applyTrafficPolicy(cfg, v);
+    }
+    static double qps(const ExperimentConfig &cfg, const Value &)
+    {
+        return cfg.gen.qps;
+    }
+};
+
+/** Axis of fault plans (what breaks during the run). */
+struct FaultPlanAxis
+{
+    using Value = fault::FaultPlan;
+    static std::string label(const Value &v) { return v.label(); }
+    static void apply(ExperimentConfig &cfg, const Value &v)
+    {
+        cfg.faultPlan = v;
+    }
+    static double qps(const ExperimentConfig &cfg, const Value &)
+    {
+        return cfg.gen.qps;
+    }
+};
+
+/** Axis of offered-load profiles (constant / diurnal / flash /
+ *  MMPP); cells record the base (unmodulated) rate. */
+struct ProfileAxis
+{
+    using Value = loadgen::LoadProfileParams;
+    static std::string label(const Value &v)
+    {
+        return toString(v.kind);
+    }
+    static void apply(ExperimentConfig &cfg, const Value &v)
+    {
+        cfg.gen.profile = v;
+    }
+    static double qps(const ExperimentConfig &cfg, const Value &)
+    {
+        return cfg.gen.qps;
+    }
+};
+
+/** Axis of memcached cache shapes (keyspace skew / capacity /
+ *  eviction); the disabled shape renders as "nocache". */
+struct CacheAxis
+{
+    using Value = svc::CacheShape;
+    static std::string label(const Value &v)
+    {
+        const std::string tag = v.label();
+        return tag.empty() ? "nocache" : tag;
+    }
+    static void apply(ExperimentConfig &cfg, const Value &v)
+    {
+        applyCacheShape(cfg, v);
+    }
+    static double qps(const ExperimentConfig &cfg, const Value &)
+    {
+        return cfg.gen.qps;
+    }
+};
+
+/**
+ * Run the grid of configurations x axis values — the one sweep-grid
+ * loop behind every sweep*() helper. Cells are labelled
+ * "<config>/<Axis::label(value)>" (bare "<config>" when the label is
+ * empty, as on the load axis), with repeated labels disambiguated
+ * ("diurnal", "diurnal#2", ...). The factory materialises each cell
+ * first, then Axis::apply() lands the value on it, so factories may
+ * set other axes (topology, faults) and the swept value wins on its
+ * own. Cells are materialised config-major up front and executed as
+ * one flat bag of (cell, repetition) tasks: workers never idle at a
+ * cell boundary while another cell still has repetitions to run, and
+ * grids are bit-identical at any parallelism.
+ */
+template <typename Axis, typename Factory>
+StudyGrid
+sweepAxis(const std::vector<std::string> &configs,
+          const std::vector<typename Axis::Value> &values,
+          const Factory &factory, const RunnerOptions &opt,
+          const std::function<void(const StudyCell &)> &progress = nullptr)
+{
+    // Two passes over the labels: repeats are counted against the
+    // *raw* labels so an already-suffixed "diurnal#2" never shifts
+    // later counts.
+    std::vector<std::string> raw(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        raw[i] = Axis::label(values[i]);
+    std::vector<std::string> names = raw;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i].empty())
+            continue;
+        std::size_t repeat = 1;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (raw[j] == raw[i])
+                ++repeat;
+        }
+        if (repeat > 1) {
+            names[i] += '#';
+            names[i] += std::to_string(repeat);
+        }
+    }
+
+    StudyGrid grid;
+    std::vector<ExperimentConfig> cellCfgs;
+    for (const std::string &config : configs) {
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            ExperimentConfig cfg = factory(config, values[i]);
+            Axis::apply(cfg, values[i]);
+            StudyCell cell;
+            cell.config =
+                names[i].empty() ? config : config + "/" + names[i];
+            cell.qps = Axis::qps(cfg, values[i]);
+            grid.cells.push_back(std::move(cell));
+            cellCfgs.push_back(std::move(cfg));
+        }
+    }
+
+    detail::runGridCells(grid, cellCfgs, opt, progress);
+    return grid;
+}
+
 /**
  * Run the full grid of configurations x loads.
  * @param configs configuration labels, e.g. {"LP-SMToff", ...}.
@@ -147,6 +331,30 @@ sweepProfiles(const std::vector<std::string> &configs,
               const ProfileConfigFactory &factory, const RunnerOptions &opt,
               const std::function<void(const StudyCell &)> &progress =
                   nullptr);
+
+/** Builds an ExperimentConfig for a (label, cache shape) pair. */
+using CacheConfigFactory = std::function<ExperimentConfig(
+    const std::string &label, const svc::CacheShape &shape)>;
+
+/**
+ * Run the grid of configurations x cache shapes: the swept axis is
+ * the *memory hierarchy* of the memcached tier (keyspace size, Zipf
+ * skew, per-shard capacity, eviction policy, cold vs. prewarmed) at a
+ * fixed load and topology. Cells are labelled
+ * "<config>/<shape.label()>" with the disabled shape rendered as
+ * "nocache" (e.g. "HP/z0.99k64Kc4K-lru", "HP/nocache").
+ * applyCacheShape() lands the shape on the materialised config after
+ * the factory runs (so the factory may set topology first), and
+ * execution goes through the same flat task bag, so grids are
+ * bit-identical at any parallelism.
+ */
+StudyGrid
+sweepCacheShapes(const std::vector<std::string> &configs,
+                 const std::vector<svc::CacheShape> &shapes,
+                 const CacheConfigFactory &factory,
+                 const RunnerOptions &opt,
+                 const std::function<void(const StudyCell &)> &progress =
+                     nullptr);
 
 /**
  * The paper's slowdown metric: ratio of mean per-run averages of two

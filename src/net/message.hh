@@ -40,8 +40,32 @@ struct Message
     std::uint8_t replica = 0;
     /** Application-specific opcode (e.g. GET/SET). */
     std::uint8_t kind = 0;
-    /** Connection the message belongs to (drives RSS / worker pinning). */
-    std::uint32_t conn = 0;
+    /**
+     * Connection the message belongs to (drives RSS / worker pinning).
+     * 16 bits: connections are generator-thread / client indices (a
+     * few dozen at most), and a fan-out folds its shard into the
+     * parent connection (conn * shards + shard), which stays far
+     * below 65536 for every studied shape. Narrowing from 32 bits
+     * freed the room the key id below needs.
+     */
+    std::uint16_t conn = 0;
+    /** True for server -> client traffic. */
+    bool isResponse = false;
+    /**
+     * Tied sub-request: a twin copy was sent to another replica, and
+     * whichever copy starts executing first claims the request — the
+     * other is cancelled before it runs (Dean & Barroso's tied
+     * requests). Message stays 64 bytes, which the inline-callback
+     * capture budgets depend on.
+     */
+    bool tied = false;
+    /**
+     * Key id of a keyed (memcached) request: the Zipf popularity rank
+     * drawn by svc::KeyspaceModel, 0 in unkeyed workloads. Carried on
+     * the wire so shard routing and per-shard cache lookups agree on
+     * the key without re-deriving it.
+     */
+    std::uint32_t key = 0;
     /** Wire size, for serialization delay. */
     std::uint32_t bytes = 0;
     /**
@@ -60,16 +84,6 @@ struct Message
      * deadline already expired before queueing it.
      */
     std::uint32_t deadlineNs = 0;
-    /** True for server -> client traffic. */
-    bool isResponse = false;
-    /**
-     * Tied sub-request: a twin copy was sent to another replica, and
-     * whichever copy starts executing first claims the request — the
-     * other is cancelled before it runs (Dean & Barroso's tied
-     * requests). Occupies padding: Message stays 64 bytes, which the
-     * inline-callback capture budgets depend on.
-     */
-    bool tied = false;
 
     /**
      * When the generator's application code issued the request —

@@ -1,0 +1,162 @@
+#include "svc/keyspace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpv {
+namespace svc {
+
+namespace {
+
+/** log1p(x)/x, stable through x -> 0. */
+double
+helper1(double x)
+{
+    if (std::abs(x) > 1e-8)
+        return std::log1p(x) / x;
+    return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+/** expm1(x)/x, stable through x -> 0. */
+double
+helper2(double x)
+{
+    if (std::abs(x) > 1e-8)
+        return std::expm1(x) / x;
+    return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x));
+}
+
+/** SplitMix64 finaliser: key id -> well-mixed 64-bit hash. */
+std::uint64_t
+mix64(std::uint64_t h)
+{
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double skew)
+    : n_(n), skew_(skew)
+{
+    TPV_ASSERT(n >= 1, "Zipf sampler needs a non-empty keyspace");
+    if (skew_ <= 0)
+        return; // uniform fallback, no constants needed
+    // Rejection-inversion constants (Hörmann & Derflinger 1996): the
+    // integral H of the hat function h(x) = x^-s over [x1 - 1/2,
+    // n + 1/2], and the shift s making the majorising condition hold
+    // for k = 1 (here in the paper's 1-based rank space; operator()
+    // maps back to 0-based).
+    hX1_ = hIntegral(1.5) - 1.0;
+    hN_ = hIntegral(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    const double logX = std::log(x);
+    return helper2((1.0 - skew_) * logX) * logX;
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-skew_ * std::log(x));
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - skew_);
+    if (t < -1.0)
+        t = -1.0; // round-off guard at the distribution head
+    return std::exp(helper1(t) * x);
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    if (skew_ <= 0) {
+        return static_cast<std::uint64_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(n_) - 1));
+    }
+    // Rejection-inversion: invert the hat integral at a uniform
+    // point, round to the nearest rank, and accept by either the
+    // quick bound (k - x <= s) or the exact one. Expected iterations
+    // < 2 for every skew, so the loop terminates fast; each pass
+    // consumes exactly one uniform draw, keeping streams cheap.
+    for (;;) {
+        const double u = hN_ + rng.uniform01() * (hX1_ - hN_);
+        const double x = hIntegralInverse(u);
+        double k = std::floor(x + 0.5);
+        k = std::clamp(k, 1.0, static_cast<double>(n_));
+        if (k - x <= s_ ||
+            u >= hIntegral(k + 0.5) - h(k)) {
+            return static_cast<std::uint64_t>(k) - 1;
+        }
+    }
+}
+
+double
+ZipfSampler::pmf(std::uint64_t k) const
+{
+    TPV_ASSERT(k < n_, "rank out of range");
+    if (skew_ <= 0)
+        return 1.0 / static_cast<double>(n_);
+    double norm = 0;
+    for (std::uint64_t i = 1; i <= n_; ++i)
+        norm += std::pow(static_cast<double>(i), -skew_);
+    return std::pow(static_cast<double>(k + 1), -skew_) / norm;
+}
+
+std::uint32_t
+KeyspaceModel::sampleKeyBytes(Rng &rng) const
+{
+    const double k = rng.generalizedExtremeValue(keyMu, keySigma, keyXi);
+    return static_cast<std::uint32_t>(std::clamp(k, 1.0, 250.0));
+}
+
+std::uint32_t
+KeyspaceModel::sampleValueBytes(Rng &rng) const
+{
+    const double v = rng.generalizedPareto(valueMu, valueSigma, valueXi);
+    return static_cast<std::uint32_t>(std::clamp(v, 1.0, valueMax));
+}
+
+MemcachedOp
+KeyspaceModel::sampleOp(Rng &rng) const
+{
+    return rng.chance(getFraction) ? MemcachedOp::Get : MemcachedOp::Set;
+}
+
+std::uint32_t
+KeyspaceModel::requestBytes(MemcachedOp op, std::uint32_t key,
+                            std::uint32_t value) const
+{
+    const std::uint32_t overhead = 24; // binary protocol header
+    if (op == MemcachedOp::Get)
+        return overhead + key;
+    return overhead + key + value;
+}
+
+std::uint32_t
+KeyspaceModel::valueBytesForKey(std::uint64_t key) const
+{
+    // Inverse-transform GPD at a per-key uniform: u in (0, 1) from
+    // the hashed key's top 53 bits. Quantile of GPD(mu, sigma, xi):
+    // mu + sigma * ((1-u)^-xi - 1) / xi.
+    const double u =
+        (static_cast<double>(mix64(key) >> 11) + 0.5) * 0x1.0p-53;
+    const double v =
+        valueMu +
+        valueSigma * std::expm1(-valueXi * std::log1p(-u)) / valueXi;
+    return static_cast<std::uint32_t>(std::clamp(v, 1.0, valueMax));
+}
+
+} // namespace svc
+} // namespace tpv

@@ -10,37 +10,15 @@
 namespace tpv {
 namespace svc {
 
-std::uint32_t
-EtcModel::sampleKeyBytes(Rng &rng) const
-{
-    const double k = rng.generalizedExtremeValue(keyMu, keySigma, keyXi);
-    return static_cast<std::uint32_t>(std::clamp(k, 1.0, 250.0));
-}
-
-std::uint32_t
-EtcModel::sampleValueBytes(Rng &rng) const
-{
-    const double v = rng.generalizedPareto(valueMu, valueSigma, valueXi);
-    return static_cast<std::uint32_t>(std::clamp(v, 1.0, valueMax));
-}
-
-MemcachedOp
-EtcModel::sampleOp(Rng &rng) const
-{
-    return rng.chance(getFraction) ? MemcachedOp::Get : MemcachedOp::Set;
-}
-
-std::uint32_t
-EtcModel::requestBytes(MemcachedOp op, std::uint32_t key,
-                       std::uint32_t value) const
-{
-    const std::uint32_t overhead = 24; // binary protocol header
-    if (op == MemcachedOp::Get)
-        return overhead + key;
-    return overhead + key + value;
-}
-
 namespace {
+
+/**
+ * Message::kind high bit marking a GET that missed its cache while
+ * the sub-request detours through the backing store. Never on the
+ * wire to the client: the store completion clears it before the
+ * reply re-enters the normal merge path.
+ */
+constexpr std::uint8_t kMissFlag = 0x80;
 
 /**
  * The memcached work model shared by the single-tier server and the
@@ -136,24 +114,76 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
                               std::move(routerP));
 
     // The cache tier mirrors MemcachedServer's work model: lognormal
-    // base time plus a per-byte cost of the ETC-sampled value, SETs
-    // paying the store/LRU extra. The value size drawn at service
-    // time is shared with the response-size hook, like the
-    // single-tier server's lastValueBytes_.
-    auto lastValue = std::make_shared<std::uint32_t>(0);
+    // base time plus a per-byte cost of the value, SETs paying the
+    // store/LRU extra.
+    const bool keyed = params_.cache.enabled();
     const MemcachedParams p = params_;
     TierParams cacheP;
     cacheP.name = "mc-cache";
     cacheP.workers = p.workers;
     cacheP.requestBytes = p.subRequestBytes;
-    cacheP.work = [p, lastValue](const net::Message &req, Rng &r) {
-        return etcServiceWork(p, req, lastValue.get(), r);
-    };
-    cacheP.responseBytesFn = [p, lastValue](const net::Message &req,
-                                            Rng &) {
-        return etcResponseBytes(p, req, *lastValue);
-    };
     cacheP.admission = params_.traffic.admission;
+    if (!keyed) {
+        // Unkeyed (historical) shape: an infinite cache — the value
+        // is ETC-sampled at service time and shared with the
+        // response-size hook, like the single-tier server's
+        // lastValueBytes_.
+        auto lastValue = std::make_shared<std::uint32_t>(0);
+        cacheP.work = [p, lastValue](const net::Message &req, Rng &r) {
+            return etcServiceWork(p, req, lastValue.get(), r);
+        };
+        cacheP.responseBytesFn = [p, lastValue](const net::Message &req,
+                                                Rng &) {
+            return etcResponseBytes(p, req, *lastValue);
+        };
+    } else {
+        // Keyed shape: the request's Zipf rank is looked up in the
+        // shard's finite cache. A hit pays the value-copy cost and
+        // stashes the stored value size in the message's byte count
+        // for the response hook; a miss marks the opcode so the
+        // completion handler cascades to the backing store instead
+        // of replying. SETs store through the cache.
+        cacheP.workMut = [this, p](net::Message &req, Rng &r) {
+            auto work = static_cast<Time>(r.lognormalMeanSd(
+                static_cast<double>(p.baseServiceTime),
+                static_cast<double>(p.serviceTimeSd)));
+            CacheModel &c = cacheFor(req);
+            ServiceStats &s = graph_.mutableStats();
+            TierBreakdown &tb = s.tiers[static_cast<std::size_t>(
+                cache_->tierIndex())];
+            if (static_cast<MemcachedOp>(req.kind) == MemcachedOp::Get) {
+                const CacheModel::Result res = c.get(req.key);
+                if (res.hit) {
+                    ++s.cacheHits;
+                    ++tb.cacheHits;
+                    req.bytes = res.valueBytes;
+                    work += static_cast<Time>(
+                        p.nsPerValueByte *
+                        static_cast<double>(res.valueBytes));
+                } else {
+                    ++s.cacheMisses;
+                    ++tb.cacheMisses;
+                    req.kind |= kMissFlag;
+                }
+            } else {
+                const std::uint32_t v = p.etc.valueBytesForKey(req.key);
+                s.cacheEvictions += c.put(req.key, v);
+                req.bytes = v;
+                work += static_cast<Time>(
+                            p.nsPerValueByte * static_cast<double>(v)) +
+                        p.setExtraTime;
+            }
+            return work;
+        };
+        cacheP.responseBytesFn = [p](const net::Message &req, Rng &) {
+            const auto op = static_cast<MemcachedOp>(
+                req.kind & static_cast<std::uint8_t>(~kMissFlag));
+            if (op == MemcachedOp::Get)
+                return p.responseOverhead + req.bytes;
+            return p.responseOverhead; // SET: status only
+        };
+        cacheP.trackShards = params_.shards;
+    }
     cache_ = &graph_.addReplicatedTier(serverCfg, params_.replicas,
                                        std::move(cacheP));
 
@@ -162,9 +192,19 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
     f.replicas = params_.replicas;
     f.hedgeDelay = params_.hedgeDelay;
     f.policy = params_.hedgePolicy;
-    f.route = [shards = params_.shards](const net::Message &req) {
-        return shardOf(req.id, shards);
-    };
+    if (keyed) {
+        // The key on the wire is the routing input, and shards pin to
+        // replicas so a shard's working set lives in one cache.
+        f.route = [shards = params_.shards](const net::Message &req) {
+            return shardOf(req.key, shards);
+        };
+        f.pinShardToReplica = true;
+        f.propagateKey = true;
+    } else {
+        f.route = [shards = params_.shards](const net::Message &req) {
+            return shardOf(req.id, shards);
+        };
+    }
     f.mergeWork = params_.routerMergeWork;
     f.postWork = 0;
     f.link = params_.interLink;
@@ -184,6 +224,119 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
     router_->setHandler(
         [this](const net::Message &req, Time) { fanout_->scatter(req); });
     graph_.setEntry(*router_);
+
+    if (keyed) {
+        // Backing store: one slow tier behind every cache shard's
+        // misses, reached through a second route-one fan-out so link
+        // delay, queueing and fault machinery apply to the detour.
+        TierParams storeP;
+        storeP.name = "mc-store";
+        storeP.workers = params_.storeWorkers;
+        storeP.work = lognormalWork(params_.storeTime,
+                                    params_.storeTimeSd);
+        storeP.requestBytes = params_.subRequestBytes;
+        storeP.responseBytesFn = [p](const net::Message &req, Rng &) {
+            return p.responseOverhead + p.etc.valueBytesForKey(req.key);
+        };
+        store_ = &graph_.addTier(
+            graph_.addMachine(serverCfg, "mc-store"), std::move(storeP));
+
+        FanoutParams fs;
+        fs.shards = 1;
+        fs.replicas = 1;
+        fs.route = [](const net::Message &) { return 0; };
+        fs.propagateKey = true;
+        fs.mergeWork = 0;
+        // The returning fill pays the SET-side bookkeeping on the
+        // cache tier before the reply continues to the router.
+        fs.postWork = params_.setExtraTime;
+        fs.link = params_.storeLink;
+        storeFanout_ = &graph_.addFanout(
+            *cache_, *store_, fs, [this](const net::Message &req) {
+                // The store answered: fill the cache and re-enter the
+                // router fan-out's merge path as a (now slow) cache
+                // reply. The cache's own lookup work rode along in
+                // serviceWork.
+                net::Message m = req;
+                m.kind = static_cast<std::uint8_t>(
+                    m.kind & static_cast<std::uint8_t>(~kMissFlag));
+                const std::uint32_t v =
+                    params_.etc.valueBytesForKey(m.key);
+                ServiceStats &s = graph_.mutableStats();
+                ++s.cacheFills;
+                s.cacheEvictions += cacheFor(m).put(m.key, v);
+                m.bytes = v;
+                fanout_->replyFromChild(
+                    m, static_cast<Time>(m.serviceWork));
+            });
+
+        // The cache tier's completion: reply on a hit or a SET,
+        // cascade to the store on a miss. Installed after the store
+        // fan-out exists (it replaced the router fan-out's default).
+        cache_->setHandler([this](const net::Message &msg, Time work) {
+            if ((msg.kind & kMissFlag) != 0) {
+                net::Message m = msg;
+                m.serviceWork = static_cast<std::uint32_t>(work);
+                storeFanout_->scatter(m);
+                return;
+            }
+            fanout_->replyFromChild(msg, work);
+        });
+
+        // One finite cache per (replica, shard), each with its own
+        // rng stream (sampled-LFU / random eviction), prewarmed with
+        // the hottest keys of its shard unless the study asks for a
+        // cold start. Replica-major order keeps construction (and
+        // the rng fork sequence) deterministic.
+        caches_.reserve(static_cast<std::size_t>(params_.replicas) *
+                        static_cast<std::size_t>(params_.shards));
+        for (int r = 0; r < params_.replicas; ++r) {
+            for (int s = 0; s < params_.shards; ++s) {
+                caches_.emplace_back(params_.cache,
+                                     graph_.rng().fork());
+                if (!params_.cache.coldStart)
+                    prewarm(caches_.back(), s);
+                caches_.back().resetCounters();
+            }
+        }
+    }
+}
+
+CacheModel &
+MemcachedCluster::cacheFor(const net::Message &msg)
+{
+    const auto idx =
+        static_cast<std::size_t>(msg.replica) *
+            static_cast<std::size_t>(params_.shards) +
+        static_cast<std::size_t>(msg.shard);
+    return caches_.at(idx);
+}
+
+CacheModel &
+MemcachedCluster::cacheModel(int replica, int shard)
+{
+    TPV_ASSERT(!caches_.empty(), "cacheModel() needs keyed mode");
+    return caches_.at(static_cast<std::size_t>(replica) *
+                          static_cast<std::size_t>(params_.shards) +
+                      static_cast<std::size_t>(shard));
+}
+
+void
+MemcachedCluster::prewarm(CacheModel &cache, int shard)
+{
+    const CacheShape &cs = params_.cache;
+    // The hottest ranks that hash to this shard, up to its capacity.
+    std::vector<std::uint64_t> ranks;
+    const std::uint64_t cap =
+        cs.capacityEntries > 0 ? cs.capacityEntries : cs.keys;
+    for (std::uint64_t k = 0; k < cs.keys && ranks.size() < cap; ++k) {
+        if (shardOf(k, params_.shards) == shard)
+            ranks.push_back(k);
+    }
+    // Insert coldest-first so the hottest keys end at the MRU end
+    // (and survive byte-cap evictions during the fill).
+    for (auto it = ranks.rbegin(); it != ranks.rend(); ++it)
+        cache.put(*it, params_.etc.valueBytesForKey(*it));
 }
 
 } // namespace svc

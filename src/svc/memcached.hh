@@ -10,43 +10,12 @@
 #ifndef TPV_SVC_MEMCACHED_HH
 #define TPV_SVC_MEMCACHED_HH
 
+#include "svc/cache.hh"
+#include "svc/keyspace.hh"
 #include "svc/service.hh"
 
 namespace tpv {
 namespace svc {
-
-/** Request opcodes for Message::kind. */
-enum class MemcachedOp : std::uint8_t { Get = 0, Set = 1 };
-
-/**
- * ETC workload constants: mutilate's fb_key / fb_value fits of the
- * Facebook ETC pool.
- */
-struct EtcModel
-{
-    /** P(GET); ETC is ~30:1 GET:SET. */
-    double getFraction = 0.968;
-    /** Key size: GEV(mu, sigma, xi) in bytes. */
-    double keyMu = 30.7984;
-    double keySigma = 8.20449;
-    double keyXi = 0.078688;
-    /** Value size: GPD(mu, sigma, xi) in bytes. */
-    double valueMu = 15.0;
-    double valueSigma = 214.476;
-    double valueXi = 0.348238;
-    /** Clamp for pathological GPD draws. */
-    double valueMax = 8192.0;
-
-    /** Draw a key size in bytes. */
-    std::uint32_t sampleKeyBytes(Rng &rng) const;
-    /** Draw a value size in bytes. */
-    std::uint32_t sampleValueBytes(Rng &rng) const;
-    /** Draw an opcode. */
-    MemcachedOp sampleOp(Rng &rng) const;
-    /** Wire size of a request with the drawn key/value. */
-    std::uint32_t requestBytes(MemcachedOp op, std::uint32_t key,
-                               std::uint32_t value) const;
-};
 
 /** Tunables for the Memcached service model. */
 struct MemcachedParams
@@ -68,6 +37,24 @@ struct MemcachedParams
     /** Per-run environment factor sd on service times. */
     double runVariability = 0.025;
     EtcModel etc;
+
+    // ---- keyed workload / finite caches (MemcachedCluster only) ----
+    // Enabling the cache shape (cache.keys > 0) keys the cluster:
+    // requests carry a Zipf rank, shard routing hashes the key, each
+    // (replica, shard) pair gets a finite CacheModel, and GET misses
+    // cascade to a backing-store tier. All knobs default off, leaving
+    // the historical infinite-cache cluster byte-identical.
+
+    /** Keyspace / capacity / eviction axis. */
+    CacheShape cache{};
+    /** Backing-store worker threads (database-ish pool). */
+    int storeWorkers = 8;
+    /** Mean backing-store service time: the store is the slow tier a
+     *  cache miss actually costs — two orders above a cache hit. */
+    Time storeTime = usec(500);
+    Time storeTimeSd = usec(150);
+    /** Cache <-> backing store hop. */
+    net::Link::Params storeLink{};
 
     // ---- sharded-cluster shape (MemcachedCluster) ----
     // The stock single-tier server is built while shards == 1 and
@@ -126,8 +113,16 @@ class MemcachedServer : public SingleTierServer
  * key-hashes every request to one cache shard, served by a replicated
  * cache tier through a route-one Fanout — so hedging, tied requests
  * and replica failover apply to a cache exactly as to a search
- * fan-out. The wire model carries no key, so the request id stands in
- * for the key hash (ids are uniform across the key space).
+ * fan-out. In the historical (unkeyed) shape the wire model carries
+ * no key, so the request id stands in for the key hash (ids are
+ * uniform across the key space).
+ *
+ * With params.cache enabled the cluster becomes keyed: requests
+ * carry a Zipf popularity rank (Message::key), routing hashes that
+ * key, every (replica, shard) pair owns a finite CacheModel, and a
+ * GET that misses cascades through a second route-one Fanout to a
+ * slow backing-store tier before replying — so hedging, failover and
+ * traffic management compose with cache misses for free.
  */
 class MemcachedCluster : public net::Endpoint
 {
@@ -159,15 +154,32 @@ class MemcachedCluster : public net::Endpoint
     /** The route-one edge (tests / diagnostics). */
     const Fanout &fanout() const { return *fanout_; }
 
-    /** Deterministic key-hash shard for a request id. */
+    /** Deterministic key-hash shard for a request id (unkeyed mode)
+     *  or key rank (keyed mode). */
     static int shardOf(std::uint64_t id, int shards);
 
+    /** Cache model of (replica, shard); keyed mode only. */
+    CacheModel &cacheModel(int replica, int shard);
+
   private:
+    /** The CacheModel serving @p msg (replica, shard on the wire). */
+    CacheModel &cacheFor(const net::Message &msg);
+
+    /** Fill (replica, shard)'s cache with the hottest keys that hash
+     *  to the shard, as a long-running cluster would hold. */
+    void prewarm(CacheModel &cache, int shard);
+
     MemcachedParams params_;
     ServiceGraph graph_;
     Tier *router_;
     Tier *cache_;
     Fanout *fanout_;
+    /** Backing store behind cache misses (keyed mode; else null). */
+    Tier *store_ = nullptr;
+    Fanout *storeFanout_ = nullptr;
+    /** Finite caches, replica-major: caches_[replica * shards +
+     *  shard]. Empty in unkeyed mode. */
+    std::vector<CacheModel> caches_;
 };
 
 } // namespace svc

@@ -1,6 +1,7 @@
 #include "svc/topology.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -86,6 +87,10 @@ TopologyShape::label() const
         break;
     }
     out += traffic.label();
+    if (cache.enabled()) {
+        out += '+';
+        out += cache.label();
+    }
     return out;
 }
 
@@ -109,7 +114,8 @@ Tier::Tier(ServiceGraph &graph, std::vector<hw::Machine *> hosts,
     : graph_(graph), params_(std::move(params))
 {
     TPV_ASSERT(!hosts.empty(), "tier '", params_.name, "' needs a host");
-    TPV_ASSERT(static_cast<bool>(params_.work),
+    TPV_ASSERT(static_cast<bool>(params_.work) ||
+                   static_cast<bool>(params_.workMut),
                "tier '", params_.name, "' needs a work model");
     for (hw::Machine *m : hosts) {
         instances_.push_back(std::make_unique<Instance>(Instance{
@@ -205,6 +211,17 @@ Tier::countLost()
 }
 
 void
+Tier::countShard(TierBreakdown &tb, const net::Message &msg, Time work)
+{
+    if (tb.shardRequests.empty())
+        return;
+    const auto s = static_cast<std::size_t>(msg.shard) %
+                   tb.shardRequests.size();
+    ++tb.shardRequests[s];
+    tb.shardWork[s] += work;
+}
+
+void
 Tier::noteLost(const net::Message &msg)
 {
     if (graph_.absorbSubLoss(*this, msg))
@@ -235,21 +252,104 @@ Tier::shouldShed(Instance &inst, const net::Message &msg)
         ++tb.requestsShed;
         return true;
     }
-    if (adm.codelTarget > 0 && inst.aboveTargetSince != kTimeNever &&
-        now - inst.aboveTargetSince >= adm.codelInterval) {
+    if (adm.codelTarget > 0) {
         // CoDel's standing-queue rule, observed where the queue is
         // visible: completions (completeService) track whether served
         // requests have been above the sojourn target, and once they
-        // have been *persistently* above for a whole interval, new
-        // arrivals are shed until one dips back under — a transient
-        // burst is tolerated, a standing queue is not. An empty
-        // worker queue ends the dropping state directly: the backlog
-        // is gone, and with nothing left to complete no observation
-        // could ever reset the marker.
-        if (inst.pool.serviceThread(msg.conn).queued() == 0) {
+        // have been *persistently* above for a whole interval, the
+        // instance enters the dropping state. While dropping, one
+        // arrival is shed each time the sqrt control law says so —
+        // the k-th drop comes interval/sqrt(k) after the previous
+        // one — instead of shedding *every* arrival: all-or-nothing
+        // shedding collapses the queue, overshoots, and saws goodput
+        // between full admit and full drop under sustained overload.
+        // An empty instance (no queued work on any thread) ends the
+        // episode directly: the backlog is gone, and with nothing
+        // left to complete no completion could ever reset the
+        // marker. This must be instance-wide — one momentarily idle
+        // thread of a drowning pool is not a drained backlog, and
+        // closing on it resets the drop ramp to nothing.
+        if (inst.pool.queuedTotal() == 0) {
+            if (inst.codelDropping) {
+                inst.codelLastCount = inst.codelDropCount;
+                inst.codelExitAt = now;
+                inst.codelDropping = false;
+                inst.codelDropDebt = 0;
+            }
             inst.aboveTargetSince = kTimeNever;
             return false;
         }
+        const auto lawStep = [&adm](std::uint32_t k) {
+            return std::max<Time>(
+                1, static_cast<Time>(
+                       static_cast<double>(adm.codelInterval) /
+                       std::sqrt(static_cast<double>(k))));
+        };
+        if (!inst.codelDropping) {
+            if (inst.aboveTargetSince == kTimeNever ||
+                now - inst.aboveTargetSince < adm.codelInterval)
+                return false;
+            inst.codelDropping = true;
+            // Re-entering soon after the last episode resumes near
+            // the old drop rate instead of relearning it from 1
+            // (the RFC 8289 hysteresis).
+            if (inst.codelExitAt != kTimeNever &&
+                now - inst.codelExitAt <
+                    16 * adm.codelInterval &&
+                inst.codelLastCount > 2)
+                inst.codelDropCount = inst.codelLastCount - 2;
+            else
+                inst.codelDropCount = 1;
+            inst.codelDropDebt = 0;
+            inst.codelNextDrop = now + lawStep(inst.codelDropCount);
+        } else {
+            // Sibling sub-requests of queries the law already shed
+            // are pure waste if admitted — their scatter can never
+            // complete — so they ride the same drop without advancing
+            // the law.
+            bool sibling = false;
+            if (msg.parentId != 0) {
+                for (std::uint64_t p : inst.codelDropRing)
+                    sibling = sibling || p == msg.parentId;
+            }
+            if (sibling) {
+                ++stats.requestsShedDelay;
+                ++tb.requestsShed;
+                return true;
+            }
+            if (now < inst.codelNextDrop) {
+                // Between control instants everything else is
+                // admitted — shedding every arrival here is the
+                // on/off failure mode (queue collapse, overshoot,
+                // goodput saw) — unless the schedule is in arrears:
+                // a debt instant is repaid by shedding this arrival.
+                if (inst.codelDropDebt == 0)
+                    return false;
+                --inst.codelDropDebt;
+            } else {
+                // Control instant reached. The receive path hands
+                // arrivals to dispatch in bursts (IRQ work rides the
+                // same cores as service work), so whole law instants
+                // can pass with nothing present to shed. Missed
+                // instants are not forgotten: the schedule advances
+                // to now and each skipped instant becomes debt,
+                // repaid on the arrivals of the next burst — without
+                // this the ramp stalls at one drop per burst gap and
+                // the law never catches the overload.
+                ++inst.codelDropCount;
+                Time next =
+                    inst.codelNextDrop + lawStep(inst.codelDropCount);
+                while (next <= now) {
+                    ++inst.codelDropCount;
+                    ++inst.codelDropDebt;
+                    next += lawStep(inst.codelDropCount);
+                }
+                inst.codelNextDrop = next;
+            }
+        }
+        inst.codelDropRing[inst.codelDropRingAt] = msg.parentId;
+        inst.codelDropRingAt = (inst.codelDropRingAt + 1) %
+                               inst.codelDropRing.size();
         ++stats.requestsShedDelay;
         ++tb.requestsShed;
         return true;
@@ -277,20 +377,25 @@ Tier::onMessage(const net::Message &msg)
 }
 
 void
-Tier::dispatch(const net::Message &msg)
+Tier::dispatch(const net::Message &msgIn)
 {
-    Instance &inst = instanceFor(msg);
+    Instance &inst = instanceFor(msgIn);
     if (!inst.up) {
         // The replica died between IRQ and dispatch.
-        noteLost(msg);
+        noteLost(msgIn);
         return;
     }
     // Admission control runs before the work-model draw: a disabled
     // (or non-shedding) policy must leave the RNG stream untouched so
     // traffic knobs default to bit-identical behaviour.
-    if (params_.admission.enabled() && shouldShed(inst, msg))
+    if (params_.admission.enabled() && shouldShed(inst, msgIn))
         return;
-    Time work = params_.work(msg, graph_.rng());
+    // A mutating work model (cache tier) transforms the request the
+    // handler and reply will see; msg is the post-transform message
+    // from here on. The copy is what every capture below took anyway.
+    net::Message msg = msgIn;
+    Time work = params_.workMut ? params_.workMut(msg, graph_.rng())
+                                : params_.work(msg, graph_.rng());
     if (params_.envSensitive) {
         work = static_cast<Time>(graph_.envFactor() *
                                  static_cast<double>(work));
@@ -315,6 +420,7 @@ Tier::dispatch(const net::Message &msg)
                     s.tiers[static_cast<std::size_t>(tierIndex_)];
                 ++tb.requestsDispatched;
                 tb.workDispatched += work;
+                countShard(tb, msg, work);
                 completeService(msg, work);
             },
             // Capture order packs the guard into its 24-byte budget
@@ -333,6 +439,7 @@ Tier::dispatch(const net::Message &msg)
         stats.tiers[static_cast<std::size_t>(tierIndex_)];
     ++tb.requestsDispatched;
     tb.workDispatched += work;
+    countShard(tb, msg, work);
     inst.pool.serviceThread(msg.conn).submit(
         work + params_.txWork,
         [this, msg, work] { completeService(msg, work); });
@@ -354,10 +461,20 @@ Tier::completeService(const net::Message &msg, Time work)
         // delay actually shows, unlike the pre-queue dispatch point
         // where admission acts.
         const Time sojourn = graph_.sim().now() - msg.appSendTime;
-        if (sojourn < params_.admission.codelTarget)
+        if (sojourn < params_.admission.codelTarget) {
+            // Sojourn back under target: the standing queue is
+            // resolved, close the dropping episode (remembering its
+            // drop count for a quick re-entry).
+            if (inst.codelDropping) {
+                inst.codelLastCount = inst.codelDropCount;
+                inst.codelExitAt = graph_.sim().now();
+                inst.codelDropping = false;
+                inst.codelDropDebt = 0;
+            }
             inst.aboveTargetSince = kTimeNever;
-        else if (inst.aboveTargetSince == kTimeNever)
+        } else if (inst.aboveTargetSince == kTimeNever) {
             inst.aboveTargetSince = graph_.sim().now();
+        }
     }
     if (handler_)
         handler_(msg, work);
@@ -418,7 +535,7 @@ Fanout::Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
     }
     // Child replies route through this fan-out's merge port.
     child_.setHandler([this](const net::Message &msg, Time work) {
-        toParent_.send(child_.makeReply(msg, work), *mergePort_);
+        replyFromChild(msg, work);
     });
     if (policy_ == HedgePolicy::Tied) {
         child_.setTieArbiter(
@@ -451,6 +568,26 @@ Fanout::hedgeReplica(std::uint64_t id, int shard, int replicas)
     return (primaryReplica(id, shard, replicas) + 1) % std::max(replicas, 1);
 }
 
+int
+Fanout::primaryFor(std::uint64_t id, int shard) const
+{
+    if (params_.pinShardToReplica)
+        return shard % params_.replicas;
+    return primaryReplica(id, shard, params_.replicas);
+}
+
+int
+Fanout::backupFor(std::uint64_t id, int shard) const
+{
+    return (primaryFor(id, shard) + 1) % std::max(params_.replicas, 1);
+}
+
+void
+Fanout::replyFromChild(const net::Message &msg, Time work)
+{
+    toParent_.send(child_.makeReply(msg, work), *mergePort_);
+}
+
 net::Message
 Fanout::makeSub(const net::Message &req, std::uint32_t slot, int shard,
                 int replica, bool tied) const
@@ -467,9 +604,19 @@ Fanout::makeSub(const net::Message &req, std::uint32_t slot, int shard,
     // within an instance the connection spreads shards across workers
     // (parent connection in the high bits so related shards differ).
     sub.replica = static_cast<std::uint8_t>(replica);
-    sub.conn = req.conn * static_cast<std::uint32_t>(params_.shards) +
-               static_cast<std::uint32_t>(shard);
-    sub.bytes = child_.params().requestBytes;
+    sub.conn = static_cast<std::uint16_t>(
+        req.conn * static_cast<std::uint32_t>(params_.shards) +
+        static_cast<std::uint32_t>(shard));
+    if (params_.propagateKey) {
+        // Keyed tiers act on the opcode/key, and the sub-request's
+        // wire size is the keyed request's own (header + key, + value
+        // for a SET) instead of the tier's flat estimate.
+        sub.kind = req.kind;
+        sub.key = req.key;
+        sub.bytes = req.bytes;
+    } else {
+        sub.bytes = child_.params().requestBytes;
+    }
     sub.tied = tied;
     sub.deadlineNs = subDeadlineNs_;
     sub.appSendTime = graph_.sim().now();
@@ -490,7 +637,7 @@ Fanout::lookup(std::uint32_t slot, std::uint64_t parentId)
 int
 Fanout::routeLive(std::uint64_t id, int shard)
 {
-    const int primary = primaryReplica(id, shard, params_.replicas);
+    const int primary = primaryFor(id, shard);
     if (child_.replicaTrusted(primary)) {
         if (breakers_.empty() || breakerAllows(primary))
             return primary;
@@ -520,7 +667,7 @@ Fanout::routeLive(std::uint64_t id, int shard)
 int
 Fanout::liveBackup(std::uint64_t id, int shard, int primary) const
 {
-    int r = hedgeReplica(id, shard, params_.replicas);
+    int r = backupFor(id, shard);
     if (!child_.replicaTrusted(r))
         r = child_.aliveReplica(r + 1);
     return (r < 0 || r == primary) ? -1 : r;
@@ -940,7 +1087,15 @@ ServiceGraph::addTier(hw::Machine &machine, TierParams params)
         std::make_unique<Tier>(*this, machine, std::move(params)));
     Tier &t = *tiers_.back();
     t.tierIndex_ = static_cast<int>(stats_.tiers.size());
-    stats_.tiers.push_back(TierBreakdown{t.params().name});
+    TierBreakdown tb;
+    tb.name = t.params().name;
+    stats_.tiers.push_back(std::move(tb));
+    if (t.params().trackShards > 0) {
+        const auto n =
+            static_cast<std::size_t>(t.params().trackShards);
+        stats_.tiers.back().shardRequests.assign(n, 0);
+        stats_.tiers.back().shardWork.assign(n, 0);
+    }
     return t;
 }
 
@@ -964,7 +1119,15 @@ ServiceGraph::addReplicatedTier(const hw::HwConfig &cfg, int replicas,
                                std::move(params)));
     Tier &t = *tiers_.back();
     t.tierIndex_ = static_cast<int>(stats_.tiers.size());
-    stats_.tiers.push_back(TierBreakdown{t.params().name});
+    TierBreakdown tb;
+    tb.name = t.params().name;
+    stats_.tiers.push_back(std::move(tb));
+    if (t.params().trackShards > 0) {
+        const auto n =
+            static_cast<std::size_t>(t.params().trackShards);
+        stats_.tiers.back().shardRequests.assign(n, 0);
+        stats_.tiers.back().shardWork.assign(n, 0);
+    }
     return t;
 }
 

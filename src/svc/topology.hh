@@ -28,6 +28,7 @@
 #ifndef TPV_SVC_TOPOLOGY_HH
 #define TPV_SVC_TOPOLOGY_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -42,6 +43,7 @@
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "stats/streaming_quantile.hh"
+#include "svc/cache.hh"
 #include "svc/traffic.hh"
 #include "svc/worker_pool.hh"
 
@@ -70,6 +72,17 @@ struct TierBreakdown
      *  the estimator only runs when a policy consumes it). The
      *  signal adaptive hedging steers by. */
     Time replyP95 = 0;
+    /** Cache lookups served from this tier's caches (cache-enabled
+     *  memcached tier only; 0 elsewhere). */
+    std::uint64_t cacheHits = 0;
+    /** Cache lookups that fell through to the backing store. */
+    std::uint64_t cacheMisses = 0;
+    /** Per-shard dispatch counts, sized by TierParams::trackShards
+     *  (empty for untracked tiers). The hot-key skew studies read
+     *  the max/mean of this as the shard-imbalance metric. */
+    std::vector<std::uint64_t> shardRequests;
+    /** Per-shard nominal work dispatched (same indexing). */
+    std::vector<Time> shardWork;
 };
 
 /** Counters every service exposes. */
@@ -129,6 +142,15 @@ struct ServiceStats
     std::uint64_t breakerSkips = 0;
     /** Half-open probe requests admitted through a breaker. */
     std::uint64_t breakerProbes = 0;
+    /** GETs served straight from a tier cache. */
+    std::uint64_t cacheHits = 0;
+    /** GETs that missed their tier cache and cascaded to the
+     *  backing store. */
+    std::uint64_t cacheMisses = 0;
+    /** Cache insertions performed by returning miss fills. */
+    std::uint64_t cacheFills = 0;
+    /** Entries evicted to make room (fills and SETs combined). */
+    std::uint64_t cacheEvictions = 0;
     /** Per-tier breakdown (ServiceGraph services; empty otherwise). */
     std::vector<TierBreakdown> tiers;
 };
@@ -188,15 +210,28 @@ struct TopologyShape
     /** Traffic-management knobs (deadlines/retries, shedding,
      *  breakers); all default off. */
     TrafficPolicy traffic{};
+    /** Keyed-workload / finite-cache knobs of the memcached tier
+     *  (ignored by other workloads); all default off. */
+    CacheShape cache{};
 
     /** "s8", "s8r2", "s8r2+h300us", "s8r2+ah300us", "s8r2+tied"
      *  style tag for study cells, with the traffic policy's tag
-     *  (e.g. "+rt2000usx3+q64") appended when one is set. */
+     *  (e.g. "+rt2000usx3+q64") and the cache shape's tag (e.g.
+     *  "+z0.99k64Kc4K-lru") appended when set. */
     std::string label() const;
 };
 
 /** Per-request nominal CPU work of a tier. */
 using TierWork = std::function<Time(const net::Message &, Rng &)>;
+
+/**
+ * Per-request CPU work of a tier that also *transforms* the request:
+ * the drawn message is what the completion handler (and the reply)
+ * sees, so a cache tier can mark a miss in the opcode and stash the
+ * hit's value size in the byte count. Mutation happens at dispatch,
+ * on the worker, in deterministic event order.
+ */
+using TierWorkMut = std::function<Time(net::Message &, Rng &)>;
 
 /** Per-request response wire size of a tier. */
 using TierBytes = std::function<std::uint32_t(const net::Message &, Rng &)>;
@@ -215,8 +250,13 @@ struct TierParams
     int workers = 8;
     /** First core of the pool (tiers sharing a machine partition it). */
     int firstCore = 0;
-    /** Nominal CPU work per request (required). */
+    /** Nominal CPU work per request (required unless workMut set). */
     TierWork work;
+    /** Mutating work model (cache tiers); overrides work when set. */
+    TierWorkMut workMut;
+    /** Track per-shard dispatch counts in TierBreakdown::shardRequests
+     *  / shardWork with this many slots (0 = no tracking). */
+    int trackShards = 0;
     /** Wire size of sub-requests sent *to* this tier by a Fanout. */
     std::uint32_t requestBytes = 0;
     /** Reply wire size when responseBytesFn is not set. */
@@ -375,6 +415,31 @@ class Tier : public net::Endpoint
          *  the target without dipping back under (kTimeNever while
          *  under target). */
         Time aboveTargetSince = kTimeNever;
+        /** CoDel control law: in the dropping state, one arrival is
+         *  shed each time now reaches nextDrop, then the next drop
+         *  moves interval/sqrt(dropCount) away — the sqrt pacing that
+         *  holds sojourn at the target instead of shedding every
+         *  arrival until the queue collapses. */
+        bool codelDropping = false;
+        std::uint32_t codelDropCount = 0;
+        Time codelNextDrop = 0;
+        /** Law instants that passed with no arrival to shed (the
+         *  receive path delivers in bursts): repaid by shedding the
+         *  next arrivals, so the cumulative drop budget follows the
+         *  schedule even though arrivals don't. */
+        std::uint32_t codelDropDebt = 0;
+        /** Parent ids of queries the law recently shed: their
+         *  sibling sub-requests are shed with them (a drop is a whole
+         *  query — admitting orphaned siblings is pure wasted work).
+         *  A ring, because siblings arrive spread over milliseconds
+         *  of receive-path backlog while the law keeps firing. */
+        std::array<std::uint64_t, 64> codelDropRing{};
+        std::uint32_t codelDropRingAt = 0;
+        /** Drop count / exit instant of the last dropping episode;
+         *  re-entering within 16 intervals resumes near the old rate
+         *  (Nichols & Jacobson's hysteresis). */
+        std::uint32_t codelLastCount = 0;
+        Time codelExitAt = kTimeNever;
     };
 
     /** The instance serving @p msg (replica clamped to the count). */
@@ -389,6 +454,10 @@ class Tier : public net::Endpoint
 
     /** Count a request lost to a fault on this tier. */
     void countLost();
+
+    /** Per-shard dispatch accounting (no-op unless trackShards). */
+    void countShard(TierBreakdown &tb, const net::Message &msg,
+                    Time work);
 
     /**
      * A fault dropped @p msg on this tier: let a covering retry
@@ -430,6 +499,20 @@ struct FanoutParams
      * replica-selection, hedging and failover machinery.
      */
     std::function<int(const net::Message &)> route;
+    /**
+     * Pin each shard to a fixed primary replica (shard % replicas)
+     * instead of rotating primaries per request id. A cache tier
+     * needs this: a shard's working set lives in one replica's cache,
+     * and spraying its requests across replicas would split (and
+     * halve) every cache. Hedges/retries still go to other replicas.
+     */
+    bool pinShardToReplica = false;
+    /**
+     * Copy the parent request's opcode, key id and wire size onto
+     * sub-requests (keyed tiers act on them); off keeps the
+     * historical opaque sub-request of scatter-gather services.
+     */
+    bool propagateKey = false;
     /** Parent-tier work per accepted shard reply (merge). */
     Time mergeWork = 0;
     /** Parent-tier work after the last shard reply (top-k, marshal). */
@@ -481,6 +564,15 @@ class Fanout
 
     /** The replica a hedge of (request, shard) is sent to. */
     static int hedgeReplica(std::uint64_t id, int shard, int replicas);
+
+    /**
+     * Send the child tier's reply for @p msg (with @p work spent on
+     * it) back to the parent through this edge's merge path — the
+     * default child handler in one call, for handler overrides that
+     * only *sometimes* reply directly (a cache tier replies on a hit
+     * and cascades to the backing store on a miss).
+     */
+    void replyFromChild(const net::Message &msg, Time work);
 
     /** Parents with outstanding shard replies (diagnostics). */
     std::size_t inFlight() const { return pool_.inUse(); }
@@ -574,6 +666,14 @@ class Fanout
 
     /** The context behind @p slot iff it is live for @p parentId. */
     RpcContext *lookup(std::uint32_t slot, std::uint64_t parentId);
+
+    /** Primary replica of (id, shard) under this edge's routing
+     *  (pinned shard -> replica, or the rotating default). */
+    int primaryFor(std::uint64_t id, int shard) const;
+
+    /** Replica a duplicate (hedge / tied twin) of (id, shard) goes
+     *  to before liveness detours. */
+    int backupFor(std::uint64_t id, int shard) const;
 
     /**
      * Replica to send (req, shard)'s primary copy to, routing around
