@@ -17,17 +17,23 @@
  * this in CI so the zero-allocation property cannot silently rot.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "alloc_counter.hh"
 #include "bench_common.hh"
 
 #include "core/experiment.hh"
+#include "hw/machine.hh"
+#include "loadgen/openloop.hh"
+#include "net/link.hh"
 #include "net/message.hh"
 #include "sim/event_queue.hh"
 #include "sim/fixed_containers.hh"
+#include "svc/hdsearch.hh"
 
 namespace {
 
@@ -188,6 +194,107 @@ fanoutRunAllocsPerEvent(int runs, double *eventsPerSec)
            static_cast<double>(events);
 }
 
+/** Late-bound endpoint (the generator and the service reference each
+ *  other), mirroring runOnce's relay. */
+struct LateBound : net::Endpoint
+{
+    net::Endpoint *target = nullptr;
+    void
+    onMessage(const net::Message &m) override
+    {
+        target->onMessage(m);
+    }
+    int
+    partitionOf(const net::Message &m) const override
+    {
+        return target->partitionOf(m);
+    }
+};
+
+/**
+ * Steady-state allocations of a hedged HDSearch run: build the full
+ * cluster, run past every pool's and vector's high-water mark, then
+ * count heap allocations over the rest of the run. The recorder
+ * pre-reserves for its sample rate, fan-out contexts and in-flight
+ * messages ride slot pools, and event callbacks live inline — so the
+ * measured segment must allocate *nothing*. This is the gated
+ * successor of the old whole-run allocs/event metric, whose 0.05-ish
+ * residue turned out to be the fan-out context pool growing without
+ * bound: 20 kqps overdrives this shape ~2.4x, and an overloaded
+ * open-loop system has no steady state — in-flight work (and the
+ * slot pool underneath it) grows for as long as the run lasts. The
+ * gate therefore measures a *sustainable* load (~60% utilisation),
+ * where every pool tops out during warmup; overload behaviour is
+ * bench/overload's subject, not an allocation question.
+ */
+double
+hdsearchSteadyAllocsPerEvent(std::uint64_t *steadyAllocs)
+{
+    auto cfg = core::ExperimentConfig::forHdSearch(5000);
+    core::applyTopology(cfg, svc::TopologyShape{4, 2, usec(300)});
+    cfg.gen.warmup = msec(10);
+    cfg.gen.duration = msec(300);
+
+    Simulator sim;
+    Rng rootRng(1);
+    hw::HwConfig clientCfg = cfg.client;
+    // Busy-wait sends + blocking completions: a completion-thread
+    // bank beside the generator threads, as in runOnce.
+    clientCfg.cores = std::max(clientCfg.cores, cfg.gen.threads * 2);
+    hw::Machine client(sim, clientCfg, "client", rootRng.u64());
+    net::Link toServer(sim, rootRng.fork(), cfg.network);
+    net::Link toClient(sim, rootRng.fork(), cfg.network);
+    LateBound door;
+    loadgen::OpenLoopGenerator gen(sim, client, toServer, door, cfg.gen,
+                                   rootRng.fork());
+    svc::HdSearchCluster cluster(sim, cfg.server, toClient, gen,
+                                 rootRng.fork(), cfg.hdsearch);
+    door.target = &cluster;
+    gen.start();
+
+    // Warm through half the run: the stochastic in-flight high-water
+    // mark (and with it the slot pools and core run queues) needs
+    // real traffic time to top out, not just the recorder's warmup.
+    sim.runUntil(msec(150));
+    const std::uint64_t events0 = sim.executedEvents();
+    const std::uint64_t allocs0 = g_allocs.load();
+    sim.runUntil(gen.windowEnd() + msec(50));
+    *steadyAllocs = g_allocs.load() - allocs0;
+    return static_cast<double>(*steadyAllocs) /
+           static_cast<double>(sim.executedEvents() - events0);
+}
+
+/**
+ * The intra-run parallelism benchmark: one *large* HDSearch topology
+ * (32 shards over 32 bucket machines + midtier + client = 34
+ * event-queue domains) at datacenter link latencies, run serially and
+ * with an 8-thread crew. The 40 us hops set the lookahead, so windows
+ * are long enough to amortise the two crew barriers. Events/sec for
+ * both goes to BENCH_hotpath.json together with the host's core
+ * count — on a single-core container the crew can only lose; read
+ * the 8t/1t ratio alongside big_run_cores_available.
+ */
+double
+bigRunEventsPerSec(int intraThreads, int *domains)
+{
+    auto cfg = core::ExperimentConfig::forHdSearch(20000);
+    core::applyTopology(cfg, svc::TopologyShape{32, 32, usec(300)});
+    cfg.network.baseLatency = usec(40);
+    cfg.hdsearch.interLink.baseLatency = usec(40);
+    cfg.gen.warmup = msec(5);
+    cfg.gen.duration = msec(60);
+    cfg.intraThreads = intraThreads;
+    std::uint64_t events = 0;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 2; ++i) {
+        cfg.seed = static_cast<std::uint64_t>(i) + 1;
+        const core::RunResult r = core::runOnce(cfg);
+        events += r.events;
+        *domains = r.intraDomains;
+    }
+    return static_cast<double>(events) / secondsSince(t0);
+}
+
 } // namespace
 
 int
@@ -202,7 +309,15 @@ main()
     const double cancel = scheduleCancelEvents(500, 4096);
     const double run = simulatedRunEvents(5);
     double fanoutRun = 0;
-    const double fanoutAllocs = fanoutRunAllocsPerEvent(4, &fanoutRun);
+    (void)fanoutRunAllocsPerEvent(4, &fanoutRun);
+    std::uint64_t steadyRunAllocs = ~0ULL;
+    const double runAllocs =
+        hdsearchSteadyAllocsPerEvent(&steadyRunAllocs);
+    int domains1 = 0, domains8 = 0;
+    const double big1t = bigRunEventsPerSec(1, &domains1);
+    const double big8t = bigRunEventsPerSec(8, &domains8);
+    const int cores =
+        static_cast<int>(std::thread::hardware_concurrency());
 
     std::printf("  %-34s %10.2f Mev/s\n",
                 "steady-state Message schedule/fire", steady / 1e6);
@@ -213,8 +328,13 @@ main()
     std::printf("  %-34s %10.2f Mev/s\n", "simulated memcached run", run / 1e6);
     std::printf("  %-34s %10.2f Mev/s\n", "hedged HDSearch run",
                 fanoutRun / 1e6);
-    std::printf("  %-34s %10.4f\n", "HDSearch allocs/event (setup incl)",
-                fanoutAllocs);
+    std::printf("  %-34s %10.4f\n", "HDSearch steady allocs/event",
+                runAllocs);
+    std::printf("  %-34s %10.2f Mev/s (%d domains)\n",
+                "big run (34 machines), 1 thread", big1t / 1e6, domains1);
+    std::printf("  %-34s %10.2f Mev/s (%d domains, %d cores)\n",
+                "big run (34 machines), 8 threads", big8t / 1e6, domains8,
+                cores);
     std::printf("  %-34s %10llu\n", "steady-state heap allocations",
                 static_cast<unsigned long long>(steadyAllocs));
 
@@ -226,8 +346,12 @@ main()
             {"schedule_cancel_events_per_sec", cancel, "events/s"},
             {"memcached_run_events_per_sec", run, "events/s"},
             {"hdsearch_run_events_per_sec", fanoutRun, "events/s"},
-            {"hdsearch_run_allocs_per_event", fanoutAllocs,
+            {"hdsearch_run_allocs_per_event", runAllocs,
              "allocs/event"},
+            {"big_run_events_per_sec_1t", big1t, "events/s"},
+            {"big_run_events_per_sec_8t", big8t, "events/s"},
+            {"big_run_cores_available", static_cast<double>(cores),
+             "cores"},
             {"steady_state_allocs", static_cast<double>(steadyAllocs),
              "allocs"},
         });
@@ -239,6 +363,13 @@ main()
                      static_cast<unsigned long long>(steadyAllocs));
         return 1;
     }
-    std::printf("\nsteady-state allocation gate: PASS (0 allocs)\n");
+    if (steadyRunAllocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: warm HDSearch run performed %llu heap "
+                     "allocations in steady state\n",
+                     static_cast<unsigned long long>(steadyRunAllocs));
+        return 1;
+    }
+    std::printf("\nsteady-state allocation gates: PASS (0 allocs)\n");
     return 0;
 }

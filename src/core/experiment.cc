@@ -110,10 +110,12 @@ applyTopology(ExperimentConfig &cfg, const svc::TopologyShape &shape)
     cfg.hdsearch.replicas = shape.replicas;
     cfg.hdsearch.hedgeDelay = shape.hedgeDelay;
     cfg.hdsearch.hedgePolicy = shape.policy;
+    cfg.hdsearch.hedgeBudget = shape.hedgeBudget;
     cfg.memcached.shards = shape.shards;
     cfg.memcached.replicas = shape.replicas;
     cfg.memcached.hedgeDelay = shape.hedgeDelay;
     cfg.memcached.hedgePolicy = shape.policy;
+    cfg.memcached.hedgeBudget = shape.hedgeBudget;
     cfg.hdsearch.traffic = shape.traffic;
     cfg.memcached.traffic = shape.traffic;
     if (shape.cache.enabled())
@@ -171,12 +173,22 @@ struct Relay : net::Endpoint
         TPV_ASSERT(target != nullptr, "relay used before binding");
         target->onMessage(m);
     }
+
+    int
+    partitionOf(const net::Message &m) const override
+    {
+        return target != nullptr ? target->partitionOf(m) : -1;
+    }
 };
 
-} // namespace
-
+/**
+ * One run at a given intra-run crew size. Split from runOnce() so a
+ * conservative-invariant violation (astronomically rare: a lookahead
+ * shortfall or sequence-key overflow) can re-run the whole experiment
+ * serially and return bit-exact serial results.
+ */
 RunResult
-runOnce(const ExperimentConfig &cfg)
+runOnceImpl(const ExperimentConfig &cfg, int intraThreads)
 {
     Simulator sim;
     Rng rootRng(cfg.seed);
@@ -250,6 +262,30 @@ runOnce(const ExperimentConfig &cfg)
     }
     serverDoor.target = service.get();
 
+    // Intra-run parallelism: carve the service graph into event-queue
+    // domains (domain 0 stays the client/harness side) and switch the
+    // run to the conservative windowed engine before the generator
+    // schedules its first arrival. Kept serial when: the crew would be
+    // size 1; a fault plan is armed (injectors flip cross-domain state
+    // from the harness); the server config keeps periodic ticks (their
+    // construction-time events could not be re-homed to the service
+    // domains); or the partition/lookahead shape is degenerate
+    // (enablePartition returns false).
+    int intraDomains = 1;
+    if (intraThreads > 1 && cfg.faultPlan.empty() &&
+        cfg.server.tickless) {
+        const int serviceDomains = serviceGraph->planPartitions(1);
+        const int domains = 1 + serviceDomains;
+        const Time lookahead =
+            std::min(net::Link::minDelayFloor(cfg.network),
+                     serviceGraph->minLinkFloor());
+        const int threads = std::min(intraThreads, domains);
+        if (sim.enablePartition(domains, lookahead, threads)) {
+            serviceGraph->shardStats(domains);
+            intraDomains = domains;
+        }
+    }
+
     gen.start();
     // Run the measured window, then drain in-flight requests without
     // accepting new samples (the recorder window is already closed).
@@ -268,6 +304,12 @@ runOnce(const ExperimentConfig &cfg)
     }
 
     sim.runUntil(horizon);
+
+    // A violated conservative invariant means the partitioned results
+    // cannot be trusted; the serial engine is always correct, so the
+    // re-run reproduces exactly what intraThreads=1 would have seen.
+    if (sim.partitionViolated())
+        return runOnceImpl(cfg, 1);
 
     RunResult out;
     out.latency = gen.recorder().latencySummary();
@@ -289,7 +331,16 @@ runOnce(const ExperimentConfig &cfg)
         out.serverHw = serverMachine->stats();
     out.service = serviceStats();
     out.events = sim.executedEvents();
+    out.intraDomains = intraDomains;
     return out;
+}
+
+} // namespace
+
+RunResult
+runOnce(const ExperimentConfig &cfg)
+{
+    return runOnceImpl(cfg, cfg.intraThreads);
 }
 
 } // namespace core

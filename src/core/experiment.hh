@@ -75,6 +75,20 @@ struct ExperimentConfig
     Time sloLatency = 0;
     std::uint64_t seed = 1;
 
+    /**
+     * Intra-run parallelism: crew threads advancing one run's
+     * event-queue domains in lookahead-sized windows (the
+     * conservative parallel engine in sim/partition.hh). 1 (the
+     * default) keeps the classic serial engine. Values > 1 partition
+     * the service graph per machine/tier group and run bit-identical
+     * to serial — runOnce falls back to serial automatically when the
+     * topology yields < 2 domains, a link allows zero lookahead, or a
+     * fault plan is present (fault injectors mutate cross-domain
+     * state), and re-runs serially in the astronomically unlikely
+     * event of a conservative-invariant violation.
+     */
+    int intraThreads = 1;
+
     /** Short human-readable tag for reports ("LP-SMToff"). */
     std::string label = "experiment";
 
@@ -155,6 +169,9 @@ struct RunResult
     svc::ServiceStats service;
     /** Simulated events executed (simulator cost diagnostics). */
     std::uint64_t events = 0;
+    /** Event-queue domains the run executed on: 1 = the serial engine
+     *  (intraThreads was 1 or a serial-fallback condition applied). */
+    int intraDomains = 1;
 
     double avgUs() const { return latency.mean; }
     double p99Us() const { return latency.p99; }

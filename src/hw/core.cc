@@ -17,6 +17,12 @@ namespace hw {
 HwThread::HwThread(Simulator &sim, Core &core, int idx)
     : sim_(sim), core_(core), idx_(idx)
 {
+    // Pre-size the run queue past any depth a sanely-loaded thread
+    // reaches, so backlog bursts mid-run recycle ring slots instead
+    // of growing the ring — bench/hotpath gates on the simulator
+    // allocating nothing in steady state. Genuine overload can still
+    // grow past this; that costs one allocation per doubling.
+    queue_.reserve(64);
 }
 
 void

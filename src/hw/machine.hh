@@ -110,6 +110,14 @@ class Machine
     /** The machine's display name. */
     const std::string &name() const { return name_; }
 
+    /**
+     * Event-queue domain of the intra-run parallel engine this
+     * machine's events run in; 0 (the client/harness domain) unless a
+     * partition plan assigned one (svc::ServiceGraph::planPartitions).
+     */
+    int simDomain() const { return simDomain_; }
+    void setSimDomain(int domain) { simDomain_ = domain; }
+
     /** Aggregated counters. */
     MachineStats stats() const;
 
@@ -131,6 +139,7 @@ class Machine
     std::string name_;
     std::vector<std::unique_ptr<Core>> cores_;
     int activeCores_ = 0;
+    int simDomain_ = 0;
     bool frozen_ = false;
     Time lastPackageActivity_ = 0;
     std::uint64_t irqsDelivered_ = 0;

@@ -39,6 +39,28 @@ class RingQueue
     /** Allocated slots (diagnostics; high-water mark). */
     std::size_t capacity() const { return buf_.size(); }
 
+    /**
+     * Pre-size the ring to hold at least @p n elements, so a queue
+     * whose depth stays under @p n never touches the allocator after
+     * construction — growth mid-run is what turns a rare burst into
+     * a heap allocation on the hot path (see bench/hotpath's
+     * steady-state gate). Construction-time only: the ring must
+     * still be empty.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        TPV_ASSERT(count_ == 0, "reserve() on a non-empty ring");
+        std::size_t cap = buf_.empty() ? 8 : buf_.size();
+        while (cap < n)
+            cap *= 2;
+        if (cap == buf_.size())
+            return;
+        buf_ = std::vector<T>(cap);
+        mask_ = cap - 1;
+        head_ = 0;
+    }
+
     void
     push_back(T value)
     {
@@ -170,6 +192,28 @@ class SlotPool
     {
         TPV_ASSERT(idx < items_.size(), "slot pool index out of range");
         free_.push_back(idx);
+    }
+
+    /**
+     * Pre-allocate @p n slots so the pool only returns to the
+     * allocator once in-flight work exceeds @p n. The free list is
+     * stacked in *descending* index order, which makes the slot
+     * acquisition sequence bit-identical to an unreserved pool's:
+     * acquires pop 0, 1, 2, ... exactly where the unreserved pool
+     * would have appended, and releases still recycle LIFO on top.
+     * Construction-time only: the pool must still be untouched.
+     * Reserved slots are default-constructed; callers that rely on
+     * recycled element buffers (acquireSlot) may warm them via at().
+     */
+    void
+    reserve(std::size_t n)
+    {
+        TPV_ASSERT(items_.empty() && free_.empty(),
+                   "reserve() on a pool already in use");
+        items_.resize(n);
+        free_.reserve(n);
+        for (std::size_t i = n; i-- > 0;)
+            free_.push_back(static_cast<std::uint32_t>(i));
     }
 
     /** Slots currently parked. */

@@ -39,6 +39,10 @@ HdSearchCluster::HdSearchCluster(Simulator &sim,
     bktP.requestBytes = params_.subRequestBytes;
     bktP.responseBytes = params_.subResponseBytes;
     bktP.admission = params_.traffic.admission;
+    // Bucket replicas share no mutable state (stateless scans, CoDel
+    // state is per instance): the parallel engine may give each one
+    // its own event-queue domain.
+    bktP.partitionable = true;
     bucket_ = &graph_.addReplicatedTier(serverCfg, params_.replicas,
                                         std::move(bktP));
 
@@ -47,6 +51,7 @@ HdSearchCluster::HdSearchCluster(Simulator &sim,
     f.replicas = params_.replicas;
     f.hedgeDelay = params_.hedgeDelay;
     f.policy = params_.hedgePolicy;
+    f.hedgeBudget = params_.hedgeBudget;
     f.mergeWork = params_.midMergeWork;
     f.postWork = params_.midPostWork;
     f.link = params_.interLink;

@@ -44,6 +44,8 @@ struct HdSearchParams
     Time hedgeDelay = 0;
     /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
     HedgePolicy hedgePolicy = HedgePolicy::Auto;
+    /** Hedge-rate budget (hedges per primary dispatch); 0 = uncapped. */
+    double hedgeBudget = 0;
     /** Midtier work before the fan-out (parse, LSH hash). */
     Time midPreWork = usec(40);
     /** Midtier work per returned shard result (merge). */
@@ -86,6 +88,12 @@ class HdSearchCluster : public net::Endpoint
     void onMessage(const net::Message &req) override
     {
         graph_.onMessage(req);
+    }
+
+    /** Requests enter at the midtier's event-queue domain. */
+    int partitionOf(const net::Message &msg) const override
+    {
+        return graph_.partitionOf(msg);
     }
 
     const ServiceStats &stats() const { return graph_.stats(); }

@@ -192,6 +192,7 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
     f.replicas = params_.replicas;
     f.hedgeDelay = params_.hedgeDelay;
     f.policy = params_.hedgePolicy;
+    f.hedgeBudget = params_.hedgeBudget;
     if (keyed) {
         // The key on the wire is the routing input, and shards pin to
         // replicas so a shard's working set lives in one cache.

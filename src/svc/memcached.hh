@@ -69,6 +69,8 @@ struct MemcachedParams
     Time hedgeDelay = 0;
     /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
     HedgePolicy hedgePolicy = HedgePolicy::Auto;
+    /** Hedge-rate budget (hedges per primary dispatch); 0 = uncapped. */
+    double hedgeBudget = 0;
     /** Router threads (mcrouter proxy pool). */
     int routerWorkers = 4;
     /** Router parse + key-hash cost per request. */
@@ -135,6 +137,12 @@ class MemcachedCluster : public net::Endpoint
     void onMessage(const net::Message &req) override
     {
         graph_.onMessage(req);
+    }
+
+    /** Requests enter at the router's event-queue domain. */
+    int partitionOf(const net::Message &msg) const override
+    {
+        return graph_.partitionOf(msg);
     }
 
     const ServiceStats &stats() const { return graph_.stats(); }

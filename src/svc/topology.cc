@@ -12,13 +12,19 @@ namespace svc {
 namespace {
 
 /** Generic endpoint adapter: forwards delivered messages to a bound
- *  function. Replaces the per-service Port/Merge adapter structs. */
+ *  function. Replaces the per-service Port/Merge adapter structs.
+ *  @p home, when given, is the machine whose event-queue domain the
+ *  bound function runs in (a fan-out's merge port belongs to the
+ *  parent tier's machine). */
 class PortEndpoint : public net::Endpoint
 {
   public:
     using Fn = std::function<void(const net::Message &)>;
 
-    explicit PortEndpoint(Fn fn) : fn_(std::move(fn)) {}
+    explicit PortEndpoint(Fn fn, const hw::Machine *home = nullptr)
+        : fn_(std::move(fn)), home_(home)
+    {
+    }
 
     void
     onMessage(const net::Message &m) override
@@ -26,8 +32,15 @@ class PortEndpoint : public net::Endpoint
         fn_(m);
     }
 
+    int
+    partitionOf(const net::Message &) const override
+    {
+        return home_ != nullptr ? home_->simDomain() : -1;
+    }
+
   private:
     Fn fn_;
+    const hw::Machine *home_;
 };
 
 } // namespace
@@ -86,6 +99,10 @@ TopologyShape::label() const
         out += "+tied";
         break;
     }
+    if (hedgeBudget > 0) {
+        out += "+hb";
+        out += std::to_string(static_cast<int>(hedgeBudget * 100));
+    }
     out += traffic.label();
     if (cache.enabled()) {
         out += '+';
@@ -119,7 +136,8 @@ Tier::Tier(ServiceGraph &graph, std::vector<hw::Machine *> hosts,
                "tier '", params_.name, "' needs a work model");
     for (hw::Machine *m : hosts) {
         instances_.push_back(std::make_unique<Instance>(Instance{
-            m, WorkerPool(*m, params_.workers, params_.firstCore)}));
+            m, WorkerPool(*m, params_.workers, params_.firstCore),
+            graph.rng().fork()}));
     }
 }
 
@@ -393,9 +411,12 @@ Tier::dispatch(const net::Message &msgIn)
     // A mutating work model (cache tier) transforms the request the
     // handler and reply will see; msg is the post-transform message
     // from here on. The copy is what every capture below took anyway.
+    // Work draws come from the serving instance's own stream (forked
+    // at construction) so replicas on different event-queue domains
+    // never contend for — or reorder — one generator.
     net::Message msg = msgIn;
-    Time work = params_.workMut ? params_.workMut(msg, graph_.rng())
-                                : params_.work(msg, graph_.rng());
+    Time work = params_.workMut ? params_.workMut(msg, inst.rng)
+                                : params_.work(msg, inst.rng);
     if (params_.envSensitive) {
         work = static_cast<Time>(graph_.envFactor() *
                                  static_cast<double>(work));
@@ -488,7 +509,7 @@ Tier::makeReply(const net::Message &msg, Time work)
     net::Message resp = msg;
     resp.isResponse = true;
     resp.bytes = params_.responseBytesFn
-                     ? params_.responseBytesFn(msg, graph_.rng())
+                     ? params_.responseBytesFn(msg, instanceFor(msg).rng)
                      : params_.responseBytes;
     resp.serviceWork = static_cast<std::uint32_t>(work);
     return resp;
@@ -501,9 +522,9 @@ Fanout::Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
       policy_(resolveHedgePolicy(params_.policy, params_.hedgeDelay)),
       onComplete_(std::move(onComplete)),
       toChild_(graph.addLink(params_.link)),
-      toParent_(graph.addLink(params_.link)),
       mergePort_(std::make_unique<PortEndpoint>(
-          [this](const net::Message &m) { onReply(m); })),
+          [this](const net::Message &m) { onReply(m); },
+          &parent.machine())),
       replyP95_(0.95)
 {
     TPV_ASSERT(params_.shards >= 1, "fanout needs at least one shard");
@@ -532,6 +553,46 @@ Fanout::Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
         breakers_.assign(static_cast<std::size_t>(params_.replicas),
                          CircuitBreaker(traffic_.breaker));
         breakerLatency_ = traffic_.breaker.latencyFactor > 0;
+    }
+    // One child->parent link per child replica instance, so replicas
+    // on different event-queue domains never share a link (a link's
+    // jitter RNG must be drawn in exactly one domain). Sub-request
+    // replicas beyond the instance count clamp to the last link,
+    // mirroring Tier::instanceFor.
+    const int upLinks = std::max(child_.replicaCount(), 1);
+    toParent_.reserve(static_cast<std::size_t>(upLinks));
+    for (int r = 0; r < upLinks; ++r)
+        toParent_.push_back(&graph.addLink(params_.link));
+    // Hedge-rate budget: a token bucket (same machinery as the retry
+    // budget) earning params_.hedgeBudget tokens per primary dispatch;
+    // a hedge that finds the bucket empty is suppressed and counted.
+    hedgeBudgetEnabled_ = params_.hedgeBudget > 0 && timedHedging();
+    if (hedgeBudgetEnabled_) {
+        RetryPolicy hb;
+        hb.budgetRatio = params_.hedgeBudget;
+        hb.budgetBurst = 16.0;
+        hedgeBudget_ = RetryBudget(hb);
+    }
+    // Pre-size the context pool and warm each context's per-lane
+    // vectors, so scatter's assign() calls recycle capacity from the
+    // first query on instead of growing fresh slots as the in-flight
+    // high-water mark creeps up (bench/hotpath gates on zero
+    // steady-state allocations). The reservation leaves the slot
+    // acquisition sequence — and with it the sub-request ids riding
+    // slot indices — bit-identical to an unreserved pool's. Loads
+    // past ~256 in-flight calls (sustained overload) still grow.
+    constexpr std::size_t kReservedContexts = 256;
+    pool_.reserve(kReservedContexts);
+    const auto lanes = static_cast<std::size_t>(laneCount());
+    for (std::size_t i = 0; i < kReservedContexts; ++i) {
+        RpcContext &c = pool_.at(static_cast<std::uint32_t>(i));
+        c.done.assign(lanes, 0);
+        c.replicaOf.assign(lanes, 0);
+        c.claimed.assign(lanes, 0);
+        c.hedges.assign(lanes, EventHandle{});
+        c.deadlines.assign(lanes, EventHandle{});
+        c.attempts.assign(lanes, 0);
+        c.dropped.assign(lanes, 0);
     }
     // Child replies route through this fan-out's merge port.
     child_.setHandler([this](const net::Message &msg, Time work) {
@@ -585,7 +646,9 @@ Fanout::backupFor(std::uint64_t id, int shard) const
 void
 Fanout::replyFromChild(const net::Message &msg, Time work)
 {
-    toParent_.send(child_.makeReply(msg, work), *mergePort_);
+    const auto idx =
+        std::min<std::size_t>(msg.replica, toParent_.size() - 1);
+    toParent_[idx]->send(child_.makeReply(msg, work), *mergePort_);
 }
 
 net::Message
@@ -739,6 +802,8 @@ Fanout::scatter(const net::Message &req)
             budget_.earn();
             armDeadline(call, lane, slot, req.id, shard);
         }
+        if (hedgeBudgetEnabled_)
+            hedgeBudget_.earn();
         if (tiedCopies) {
             // The tied twin goes to the next replica immediately;
             // whichever copy starts first claims the request.
@@ -770,6 +835,11 @@ Fanout::fireHedge(std::uint32_t slot, std::uint64_t parentId, int shard)
         liveBackup(parentId, shard, call->replicaOf[lane]);
     if (replica < 0)
         return; // no live backup distinct from the primary: useless
+    if (hedgeBudgetEnabled_ && !hedgeBudget_.tryAcquire()) {
+        // Budget empty: the duplicate is withheld, the primary stands.
+        ++graph_.mutableStats().hedgesSuppressed;
+        return;
+    }
     ++graph_.mutableStats().hedgesSent;
     toChild_.send(makeSub(call->request, slot, shard, replica, false),
                   child_);
@@ -1153,8 +1223,9 @@ ServiceGraph::notifyReplicaDown(Tier &tier, int replica)
 void
 ServiceGraph::countLost(int tierIndex)
 {
-    ++stats_.requestsLost;
-    ++stats_.tiers.at(static_cast<std::size_t>(tierIndex)).requestsLost;
+    ServiceStats &stats = mutableStats();
+    ++stats.requestsLost;
+    ++stats.tiers.at(static_cast<std::size_t>(tierIndex)).requestsLost;
 }
 
 bool
@@ -1190,7 +1261,7 @@ void
 ServiceGraph::onMessage(const net::Message &req)
 {
     TPV_ASSERT(entry_ != nullptr, "service graph has no entry tier");
-    ++stats_.requestsReceived;
+    ++mutableStats().requestsReceived;
     entry_->onMessage(req);
 }
 
@@ -1198,8 +1269,176 @@ void
 ServiceGraph::respond(net::Message resp)
 {
     resp.serverDoneTime = sim_.now();
-    ++stats_.responsesSent;
+    ++mutableStats().responsesSent;
     replyLink_.send(resp, client_);
+}
+
+namespace {
+
+void
+addInto(TierBreakdown &into, const TierBreakdown &from)
+{
+    into.requestsDispatched += from.requestsDispatched;
+    into.workDispatched += from.workDispatched;
+    into.requestsLost += from.requestsLost;
+    into.requestsShed += from.requestsShed;
+    into.faultsInjected += from.faultsInjected;
+    // At most one domain hosts the adaptive estimator that feeds a
+    // tier's replyP95; max() picks it out of the zero-valued shards.
+    into.replyP95 = std::max(into.replyP95, from.replyP95);
+    into.cacheHits += from.cacheHits;
+    into.cacheMisses += from.cacheMisses;
+    for (std::size_t i = 0; i < from.shardRequests.size(); ++i)
+        into.shardRequests[i] += from.shardRequests[i];
+    for (std::size_t i = 0; i < from.shardWork.size(); ++i)
+        into.shardWork[i] += from.shardWork[i];
+}
+
+void
+addInto(ServiceStats &into, const ServiceStats &from)
+{
+    into.requestsReceived += from.requestsReceived;
+    into.responsesSent += from.responsesSent;
+    into.serviceWorkDispatched += from.serviceWorkDispatched;
+    into.subRequestsSent += from.subRequestsSent;
+    into.hedgesSent += from.hedgesSent;
+    into.hedgesCancelled += from.hedgesCancelled;
+    into.duplicatesDiscarded += from.duplicatesDiscarded;
+    into.duplicateWorkDispatched += from.duplicateWorkDispatched;
+    into.hedgesSuppressed += from.hedgesSuppressed;
+    into.tiedSent += from.tiedSent;
+    into.tiedCancelledBeforeRun += from.tiedCancelledBeforeRun;
+    into.faultsInjected += from.faultsInjected;
+    into.requestsFailedOver += from.requestsFailedOver;
+    into.requestsLost += from.requestsLost;
+    into.pauseTime += from.pauseTime;
+    into.requestsRetried += from.requestsRetried;
+    into.retriesSuppressed += from.retriesSuppressed;
+    into.subRequestsDropped += from.subRequestsDropped;
+    into.requestsShedDepth += from.requestsShedDepth;
+    into.requestsShedDelay += from.requestsShedDelay;
+    into.breakerOpens += from.breakerOpens;
+    into.breakerSkips += from.breakerSkips;
+    into.breakerProbes += from.breakerProbes;
+    into.cacheHits += from.cacheHits;
+    into.cacheMisses += from.cacheMisses;
+    into.cacheFills += from.cacheFills;
+    into.cacheEvictions += from.cacheEvictions;
+    for (std::size_t i = 0; i < from.tiers.size(); ++i)
+        addInto(into.tiers[i], from.tiers[i]);
+}
+
+} // namespace
+
+const ServiceStats &
+ServiceGraph::stats() const
+{
+    if (statShards_.empty())
+        return stats_;
+    // Start from stats_ (zero counters, but tier names / shard-vector
+    // shapes) and fold every domain shard in.
+    merged_ = stats_;
+    for (const ServiceStats &shard : statShards_)
+        addInto(merged_, shard);
+    return merged_;
+}
+
+ServiceStats &
+ServiceGraph::mutableStats()
+{
+    if (statShards_.empty())
+        return stats_;
+    return statShards_[static_cast<std::size_t>(sim_.currentDomain())];
+}
+
+void
+ServiceGraph::shardStats(int domains)
+{
+    TPV_ASSERT(statShards_.empty(), "stats already sharded");
+    // Each shard is a copy of the pre-traffic stats_ — all counters
+    // zero, but the per-tier names and shard-tracking vectors are in
+    // place so every bump site indexes identically in any shard.
+    statShards_.assign(static_cast<std::size_t>(domains), stats_);
+}
+
+int
+ServiceGraph::planPartitions(int firstDomain)
+{
+    // Every machine hosting a tier instance, in deterministic
+    // (tier, replica) first-appearance order — covers machines owned
+    // by the graph and external ones (a single-tier server's host).
+    std::vector<hw::Machine *> machines;
+    std::unordered_map<const hw::Machine *, std::size_t> index;
+    for (auto &t : tiers_) {
+        for (int r = 0; r < t->replicaCount(); ++r) {
+            hw::Machine *m = &t->machine(r);
+            if (index.emplace(m, machines.size()).second)
+                machines.push_back(m);
+        }
+    }
+
+    // Union-find with path halving; machines that must share one
+    // event-queue timeline are merged.
+    std::vector<std::size_t> up(machines.size());
+    for (std::size_t i = 0; i < up.size(); ++i)
+        up[i] = i;
+    auto find = [&up](std::size_t i) {
+        while (up[i] != i) {
+            up[i] = up[up[i]];
+            i = up[i];
+        }
+        return i;
+    };
+    auto unite = [&up, &find](std::size_t a, std::size_t b) {
+        up[find(a)] = find(b);
+    };
+    auto machineIndex = [&index](const hw::Machine &m) {
+        return index.at(&m);
+    };
+
+    for (auto &t : tiers_) {
+        // A tier that has not been audited for cross-replica sharing
+        // (partitionable is opt-in) keeps all its instances together.
+        if (t->params().partitionable)
+            continue;
+        for (int r = 1; r < t->replicaCount(); ++r)
+            unite(machineIndex(t->machine(0)), machineIndex(t->machine(r)));
+    }
+    for (auto &f : fanouts_) {
+        // Scatter state (the RpcContext pool, merge-port handling,
+        // hedge timers, budgets) lives on the parent tier's timeline:
+        // all parent instances stay together.
+        Tier &p = f->parent();
+        for (int r = 1; r < p.replicaCount(); ++r)
+            unite(machineIndex(p.machine(0)), machineIndex(p.machine(r)));
+        // Tied requests: the tie arbiter runs on *child* workers but
+        // mutates parent-side context — one timeline for both tiers.
+        if (f->policy() == HedgePolicy::Tied) {
+            Tier &c = f->child();
+            for (int r = 0; r < c.replicaCount(); ++r)
+                unite(machineIndex(p.machine(0)),
+                      machineIndex(c.machine(r)));
+        }
+    }
+
+    int next = firstDomain;
+    std::unordered_map<std::size_t, int> domainOf;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        const auto [it, fresh] = domainOf.emplace(find(i), next);
+        if (fresh)
+            ++next;
+        machines[i]->setSimDomain(it->second);
+    }
+    return next - firstDomain;
+}
+
+Time
+ServiceGraph::minLinkFloor() const
+{
+    Time floor = kTimeNever;
+    for (const auto &l : links_)
+        floor = std::min(floor, net::Link::minDelayFloor(l->params()));
+    return floor;
 }
 
 } // namespace svc

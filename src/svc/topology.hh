@@ -102,6 +102,8 @@ struct ServiceStats
     std::uint64_t duplicatesDiscarded = 0;
     /** Service work spent on discarded replies (the price of hedging). */
     Time duplicateWorkDispatched = 0;
+    /** Hedges withheld because the hedge-rate budget was empty. */
+    std::uint64_t hedgesSuppressed = 0;
     /** Tied twin copies sent alongside primaries (Tied policy). */
     std::uint64_t tiedSent = 0;
     /** Tied twins abandoned before any service work ran — the
@@ -207,6 +209,9 @@ struct TopologyShape
     Time hedgeDelay = 0;
     /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
     HedgePolicy policy = HedgePolicy::Auto;
+    /** Hedge-rate budget: hedges allowed per primary dispatch
+     *  (token bucket like the retry budget); 0 = uncapped. */
+    double hedgeBudget = 0;
     /** Traffic-management knobs (deadlines/retries, shedding,
      *  breakers); all default off. */
     TrafficPolicy traffic{};
@@ -280,6 +285,15 @@ struct TierParams
      * caller must not strand.
      */
     AdmissionPolicy admission{};
+    /**
+     * Whether the intra-run parallel engine may place this tier's
+     * replica instances in *separate* event-queue domains. Only safe
+     * when the tier's work/response models keep no state shared
+     * across instances (the per-instance RNG, queues and CoDel state
+     * are always instance-local). Default off: the tier's instances
+     * stay one domain, which is always correct.
+     */
+    bool partitionable = false;
 };
 
 class ServiceGraph;
@@ -329,6 +343,15 @@ class Tier : public net::Endpoint
     void setTieArbiter(TieArbiter fn) { tieArbiter_ = std::move(fn); }
 
     void onMessage(const net::Message &msg) override;
+
+    /** Event-queue domain of the replica instance serving @p msg. */
+    int
+    partitionOf(const net::Message &msg) const override
+    {
+        const auto idx = std::min<std::size_t>(msg.replica,
+                                               instances_.size() - 1);
+        return instances_[idx]->machine->simDomain();
+    }
 
     /**
      * Reply this tier would send for @p msg: echoes the request with
@@ -405,6 +428,15 @@ class Tier : public net::Endpoint
     {
         hw::Machine *machine;
         WorkerPool pool;
+        /**
+         * Per-instance random stream (forked from the graph rng at
+         * construction): work-model and response-size draws are a
+         * property of the replica serving the request, so replicas
+         * in different event-queue domains never share a stream —
+         * the intra-run parallel engine depends on this for
+         * bit-identical serial/parallel execution.
+         */
+        Rng rng;
         /** False while a crash fault holds the replica down. */
         bool up = true;
         /** True once the failure detector has flagged the replica. */
@@ -492,6 +524,15 @@ struct FanoutParams
     Time hedgeDelay = 0;
     /** Hedging policy; Auto = Fixed when hedgeDelay > 0 else None. */
     HedgePolicy policy = HedgePolicy::Auto;
+    /**
+     * Hedge-rate budget: duplicate sends allowed per primary dispatch
+     * (a token bucket like the retry budget, burst 16). A hedge that
+     * finds the bucket empty is withheld and counted in
+     * hedgesSuppressed. 0 = uncapped (historical behaviour). Applies
+     * to timed (Fixed/Adaptive) hedging; tied twins are sent up
+     * front and are not metered.
+     */
+    double hedgeBudget = 0;
     /**
      * Single-shard routing (a sharded key-value tier): when set,
      * each request goes to route(req) % shards only, instead of
@@ -584,6 +625,9 @@ class Fanout
 
     /** The child tier this edge scatters into. */
     Tier &child() { return child_; }
+
+    /** The parent tier this edge scatters from. */
+    Tier &parent() { return parent_; }
 
     /**
      * Threshold an Adaptive hedge would use right now: the streaming
@@ -726,7 +770,15 @@ class Fanout
     HedgePolicy policy_;
     Complete onComplete_;
     net::Link &toChild_;
-    net::Link &toParent_;
+    /**
+     * One child->parent link per child replica instance. A link's
+     * jitter draws happen at send time on the sender's event-queue
+     * domain, so a link shared by every replica would interleave the
+     * replicas' streams; one link per replica keeps each stream a
+     * function of that replica's own reply order (and gives the
+     * parallel engine a single sender domain per link).
+     */
+    std::vector<net::Link *> toParent_;
     /** Adapter delivering child replies back into onReply(). */
     std::unique_ptr<net::Endpoint> mergePort_;
     /**
@@ -752,6 +804,13 @@ class Fanout
     RetryBudget budget_;
     /** Per-replica breakers (empty when breakers are off). */
     std::vector<CircuitBreaker> breakers_;
+    /** Hedge-rate budget armed (params.hedgeBudget > 0 and a timed
+     *  hedging policy; tied twins are not metered — they cost queue
+     *  slots, not duplicate service work). */
+    bool hedgeBudgetEnabled_ = false;
+    /** Token bucket limiting hedge volume (hedgesSuppressed counts
+     *  the hedges it withholds). */
+    RetryBudget hedgeBudget_;
 };
 
 /**
@@ -799,8 +858,45 @@ class ServiceGraph : public net::Endpoint
     /** Front door: client request arrives at the service. */
     void onMessage(const net::Message &req) override;
 
+    /** Requests enter at the entry tier's domain. */
+    int
+    partitionOf(const net::Message &msg) const override
+    {
+        return entry_ != nullptr ? entry_->partitionOf(msg) : -1;
+    }
+
     /** Send @p resp to the client (stamps serverDoneTime, counts). */
     void respond(net::Message resp);
+
+    // ---- intra-run parallelism (conservative parallel DES) ----
+
+    /**
+     * Assign every machine hosting this graph's tiers to an
+     * event-queue domain, numbered from @p firstDomain. Machines that
+     * must share a timeline are merged (union-find): all instances of
+     * a non-partitionable tier, every fan-out's parent tier (the
+     * scatter pool and merge path live there), and — under the Tied
+     * policy — the fan-out's parent and child (the tie arbiter runs
+     * on child workers but mutates the parent-side context).
+     * @return the number of domains assigned.
+     */
+    int planPartitions(int firstDomain);
+
+    /**
+     * Conservative minimum over the graph's intra-cluster links of
+     * the smallest delay a send can draw — the lookahead bound the
+     * windowed parallel engine advances by. 0 when any link can
+     * deliver instantly (the graph is then not partitionable).
+     */
+    Time minLinkFloor() const;
+
+    /**
+     * Shard the service counters per event-queue domain (@p domains
+     * total) so concurrent domains never write one cache line.
+     * Call only while the counters are still zero (before traffic);
+     * stats() merges the shards on read.
+     */
+    void shardStats(int domains);
 
     /** This run's service-time environment factor. */
     double envFactor() const { return envFactor_; }
@@ -842,8 +938,16 @@ class ServiceGraph : public net::Endpoint
      */
     bool absorbSubLoss(Tier &tier, const net::Message &msg);
 
-    const ServiceStats &stats() const { return stats_; }
-    ServiceStats &mutableStats() { return stats_; }
+    /**
+     * Service counters. Serial runs read `stats_` directly; a
+     * partitioned run merges the per-domain shards on every call
+     * (cheap relative to how rarely results are read).
+     */
+    const ServiceStats &stats() const;
+
+    /** Counter shard of the calling event-queue domain. */
+    ServiceStats &mutableStats();
+
     Simulator &sim() { return sim_; }
     Rng &rng() { return rng_; }
 
@@ -859,6 +963,10 @@ class ServiceGraph : public net::Endpoint
     std::vector<std::unique_ptr<net::Link>> links_;
     std::vector<std::unique_ptr<Fanout>> fanouts_;
     ServiceStats stats_;
+    /** Per-domain counter shards (empty in serial runs). */
+    std::vector<ServiceStats> statShards_;
+    /** Scratch for the merged view returned by stats(). */
+    mutable ServiceStats merged_;
 };
 
 } // namespace svc

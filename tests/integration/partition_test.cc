@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Intra-run parallelism acceptance tests: the conservative windowed
+ * engine (sim/partition.hh) must be *bit-identical* to the serial
+ * engine on every studied scenario — same latency summaries, same
+ * event counts, same service counters — because domain event order is
+ * keyed by (simulated time, scheduling instant, source domain,
+ * counter), never by host-thread interleaving. Each scenario below
+ * runs the same config serially and with a crew and compares
+ * fingerprints exactly (==, no tolerance). The fallback tests pin the
+ * conditions under which runOnce() refuses to partition and quietly
+ * stays serial.
+ *
+ * Under ThreadSanitizer (the ci `tsan` leg runs this file via the
+ * `partition` label) the stress test doubles as a race detector for
+ * the window barriers and cross-domain mailboxes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "fault/fault.hh"
+#include "svc/topology.hh"
+
+namespace tpv {
+namespace {
+
+/** Every observable a run reports must match bit-for-bit. */
+void
+expectSameRun(const core::RunResult &a, const core::RunResult &b)
+{
+    EXPECT_EQ(a.latency.mean, b.latency.mean);
+    EXPECT_EQ(a.latency.p99, b.latency.p99);
+    EXPECT_EQ(a.latency.max, b.latency.max);
+    EXPECT_EQ(a.sendLateness.mean, b.sendLateness.mean);
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.service.requestsReceived, b.service.requestsReceived);
+    EXPECT_EQ(a.service.responsesSent, b.service.responsesSent);
+    EXPECT_EQ(a.service.serviceWorkDispatched,
+              b.service.serviceWorkDispatched);
+    EXPECT_EQ(a.service.subRequestsSent, b.service.subRequestsSent);
+    EXPECT_EQ(a.service.hedgesSent, b.service.hedgesSent);
+    EXPECT_EQ(a.service.hedgesCancelled, b.service.hedgesCancelled);
+    EXPECT_EQ(a.service.hedgesSuppressed, b.service.hedgesSuppressed);
+    EXPECT_EQ(a.service.duplicatesDiscarded,
+              b.service.duplicatesDiscarded);
+    EXPECT_EQ(a.service.duplicateWorkDispatched,
+              b.service.duplicateWorkDispatched);
+    EXPECT_EQ(a.service.requestsShedDepth, b.service.requestsShedDepth);
+    EXPECT_EQ(a.service.requestsShedDelay, b.service.requestsShedDelay);
+    EXPECT_EQ(a.service.requestsLost, b.service.requestsLost);
+    EXPECT_EQ(a.service.cacheHits, b.service.cacheHits);
+    EXPECT_EQ(a.service.cacheMisses, b.service.cacheMisses);
+    EXPECT_EQ(a.service.cacheEvictions, b.service.cacheEvictions);
+    ASSERT_EQ(a.service.tiers.size(), b.service.tiers.size());
+    for (std::size_t i = 0; i < a.service.tiers.size(); ++i) {
+        EXPECT_EQ(a.service.tiers[i].requestsDispatched,
+                  b.service.tiers[i].requestsDispatched)
+            << "tier " << a.service.tiers[i].name;
+        EXPECT_EQ(a.service.tiers[i].workDispatched,
+                  b.service.tiers[i].workDispatched)
+            << "tier " << a.service.tiers[i].name;
+        EXPECT_EQ(a.service.tiers[i].requestsShed,
+                  b.service.tiers[i].requestsShed)
+            << "tier " << a.service.tiers[i].name;
+    }
+}
+
+/** Short HDSearch cell: fan-out 4, replicas 2, enough traffic that
+ *  every cross-domain path (scatter, gather, hedge, reply) runs. */
+core::ExperimentConfig
+hdsearchCfg()
+{
+    auto cfg = core::ExperimentConfig::forHdSearch(20000);
+    cfg.gen.warmup = msec(2);
+    cfg.gen.duration = msec(12);
+    core::applyTopology(cfg, svc::TopologyShape{4, 2, usec(300)});
+    return cfg;
+}
+
+TEST(IntraRunParallel, MatchesSerialOnTheHedgedHdSearchShape)
+{
+    auto cfg = hdsearchCfg();
+    const core::RunResult serial = core::runOnce(cfg);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    // Client domain + mid tier + 4x2 partitionable leaf machines.
+    EXPECT_GT(par.intraDomains, 2);
+    EXPECT_EQ(serial.intraDomains, 1);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, MatchesSerialUnderAdaptiveHedgingWithABudget)
+{
+    auto cfg = core::ExperimentConfig::forHdSearch(20000);
+    cfg.gen.warmup = msec(2);
+    cfg.gen.duration = msec(12);
+    svc::TopologyShape shape{4, 2, usec(300)};
+    shape.policy = svc::HedgePolicy::Adaptive;
+    shape.hedgeBudget = 0.05;
+    core::applyTopology(cfg, shape);
+    const core::RunResult serial = core::runOnce(cfg);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_GT(par.intraDomains, 2);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, MatchesSerialOnTheCachedMemcachedCluster)
+{
+    auto cfg = core::ExperimentConfig::forMemcached(40000);
+    cfg.gen.warmup = msec(2);
+    cfg.gen.duration = msec(12);
+    svc::TopologyShape shape{4, 2, 0};
+    shape.cache.keys = 4096;
+    shape.cache.capacityEntries = 256;
+    core::applyTopology(cfg, shape);
+    const core::RunResult serial = core::runOnce(cfg);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_GT(par.intraDomains, 1);
+    EXPECT_GT(par.service.cacheHits + par.service.cacheMisses, 0u);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, MatchesSerialUnderLoadShedding)
+{
+    // Overload the leaf tier so CoDel and depth shedding both engage.
+    auto cfg = core::ExperimentConfig::forHdSearch(60000);
+    cfg.gen.warmup = msec(2);
+    cfg.gen.duration = msec(12);
+    svc::TopologyShape shape{4, 2, usec(300)};
+    shape.traffic.admission.maxQueueDepth = 32;
+    shape.traffic.admission.codelTarget = usec(500);
+    core::applyTopology(cfg, shape);
+    const core::RunResult serial = core::runOnce(cfg);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_GT(par.intraDomains, 2);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, MatchesSerialOnTheSocialNetworkChain)
+{
+    // Single shared server machine: exactly one service domain, so
+    // the crew is client vs server — the smallest useful partition.
+    auto cfg = core::ExperimentConfig::forSocialNetwork(2000);
+    cfg.gen.warmup = msec(2);
+    cfg.gen.duration = msec(12);
+    const core::RunResult serial = core::runOnce(cfg);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_EQ(par.intraDomains, 2);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, FaultPlanFallsBackToSerial)
+{
+    auto cfg = hdsearchCfg();
+    cfg.faultPlan =
+        fault::FaultPlan::replicaKill("hds-bucket", 0, msec(4), msec(4));
+    const core::RunResult serial = core::runOnce(cfg);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    // Injectors mutate cross-domain state from the harness, so the
+    // run must refuse to partition — and still be bit-identical.
+    EXPECT_EQ(par.intraDomains, 1);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, ZeroLookaheadFallsBackToSerial)
+{
+    auto cfg = hdsearchCfg();
+    cfg.network.baseLatency = 0; // client link floor -> no lookahead
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_EQ(par.intraDomains, 1);
+}
+
+TEST(IntraRunParallel, IntraThreadsOneKeepsTheSerialEngine)
+{
+    auto cfg = hdsearchCfg();
+    cfg.intraThreads = 1;
+    const core::RunResult r = core::runOnce(cfg);
+    EXPECT_EQ(r.intraDomains, 1);
+}
+
+/**
+ * Race detector fodder: many short windows, a wide crew, every
+ * cross-domain path exercised repeatedly. The assertions are light —
+ * under TSan what matters is that no barrier or mailbox access
+ * races; on any engine the three repetitions must agree with each
+ * other bit-for-bit (run-to-run determinism of the parallel engine
+ * itself, independent of the serial baseline).
+ */
+TEST(IntraRunParallel, WindowBarrierStressIsDeterministicRunToRun)
+{
+    auto cfg = hdsearchCfg();
+    cfg.gen.duration = msec(6);
+    cfg.intraThreads = 8;
+    const core::RunResult first = core::runOnce(cfg);
+    EXPECT_GT(first.intraDomains, 2);
+    for (int i = 0; i < 2; ++i) {
+        const core::RunResult again = core::runOnce(cfg);
+        expectSameRun(first, again);
+    }
+}
+
+} // namespace
+} // namespace tpv
