@@ -6,6 +6,7 @@
 
 #include "loadgen/openloop.hh"
 #include "sim/logging.hh"
+#include "sim/partition.hh"
 #include "sim/simulator.hh"
 
 namespace tpv {
@@ -265,22 +266,36 @@ runOnceImpl(const ExperimentConfig &cfg, int intraThreads)
     // Intra-run parallelism: carve the service graph into event-queue
     // domains (domain 0 stays the client/harness side) and switch the
     // run to the conservative windowed engine before the generator
-    // schedules its first arrival. Kept serial when: the crew would be
-    // size 1; a fault plan is armed (injectors flip cross-domain state
-    // from the harness); the server config keeps periodic ticks (their
-    // construction-time events could not be re-homed to the service
-    // domains); or the partition/lookahead shape is degenerate
-    // (enablePartition returns false).
+    // schedules its first arrival. Service machines pack into at most
+    // intraThreads - 1 domains (domain 0 is the client's), and the
+    // window is sized by the tightest cross-domain edge the plan
+    // actually cuts — plus the client links, which always cross. Kept
+    // serial only when the crew would be size 1 or the shape is
+    // degenerate (< 2 domains, a cut edge with a zero delay floor);
+    // fault plans run partitioned (the injector homes every state
+    // flip in its owning domain) and so do non-tickless servers
+    // (their tick loops migrate into their machines' domains).
     int intraDomains = 1;
-    if (intraThreads > 1 && cfg.faultPlan.empty() &&
-        cfg.server.tickless) {
-        const int serviceDomains = serviceGraph->planPartitions(1);
+    if (intraThreads > 1) {
+        const int serviceDomains = serviceGraph->planPartitions(
+            1, std::max(1, intraThreads - 1));
         const int domains = 1 + serviceDomains;
         const Time lookahead =
             std::min(net::Link::minDelayFloor(cfg.network),
-                     serviceGraph->minLinkFloor());
+                     serviceGraph->minCutFloor());
         const int threads = std::min(intraThreads, domains);
-        if (sim.enablePartition(domains, lookahead, threads)) {
+        if (domains >= 2 && threads >= 2 && lookahead > 0 &&
+            domains < (1 << PartitionedEngine::kDomainBits)) {
+            // Pull construction-time tick loops off the setup queue
+            // before enablePartition() adopts it into domain 0, then
+            // re-home them into their machines' planned domains. The
+            // shape was checked above, so enablePartition() cannot
+            // refuse and leave the ticks detached.
+            serviceGraph->detachTicks();
+            const bool enabled =
+                sim.enablePartition(domains, lookahead, threads);
+            TPV_ASSERT(enabled, "partition refused a checked shape");
+            serviceGraph->attachTicks();
             serviceGraph->shardStats(domains);
             intraDomains = domains;
         }

@@ -79,12 +79,13 @@ struct ExperimentConfig
      * Intra-run parallelism: crew threads advancing one run's
      * event-queue domains in lookahead-sized windows (the
      * conservative parallel engine in sim/partition.hh). 1 (the
-     * default) keeps the classic serial engine. Values > 1 partition
-     * the service graph per machine/tier group and run bit-identical
-     * to serial — runOnce falls back to serial automatically when the
-     * topology yields < 2 domains, a link allows zero lookahead, or a
-     * fault plan is present (fault injectors mutate cross-domain
-     * state), and re-runs serially in the astronomically unlikely
+     * default) keeps the classic serial engine. Values > 1 pack the
+     * service graph's machine/tier groups into at most
+     * intraThreads - 1 domains (domain 0 is the client's) and run
+     * bit-identical to serial — fault plans and non-tickless servers
+     * included. runOnce falls back to serial automatically only when
+     * the topology yields < 2 domains or a cut edge allows zero
+     * lookahead, and re-runs serially in the astronomically unlikely
      * event of a conservative-invariant violation.
      */
     int intraThreads = 1;

@@ -130,6 +130,22 @@ faultScenarios()
             s.sections = "fault extension";
             out.push_back(std::move(s));
         }
+        // The compound row: a mid-run cache flush during a flash
+        // crowd (the Step load shape). Each alone is survivable —
+        // together the refill misses land exactly when the offered
+        // load steps up, the cache-wall worst case. Needs the
+        // finite-cache memcached tier, so this row carries its own
+        // keyed, capacity-bounded topology instead of `shape`.
+        Scenario s = base;
+        s.topology = svc::TopologyShape{4, 2, usec(400),
+                                        svc::HedgePolicy::Adaptive};
+        s.topology.cache.keys = 1 << 16;
+        s.topology.cache.capacityEntries = 1 << 12;
+        s.faultPlan =
+            fault::FaultPlan::cacheFlush("mc-cache", -1, msec(30));
+        s.loadShape = loadgen::LoadProfileKind::Step;
+        s.sections = "fault extension";
+        out.push_back(std::move(s));
     }
     return out;
 }

@@ -37,6 +37,8 @@ toString(FaultKind k)
         return "link";
       case FaultKind::Pause:
         return "pause";
+      case FaultKind::CacheFlush:
+        return "flush";
     }
     return "?";
 }
@@ -69,7 +71,8 @@ FaultSpec::label() const
     }
     out += '@';
     out += compactTime(start);
-    if (duration > 0) {
+    // A flush is instantaneous — its token duration is not a window.
+    if (duration > 0 && kind != FaultKind::CacheFlush) {
         out += '+';
         out += compactTime(duration);
     }
@@ -151,6 +154,20 @@ FaultPlan::pause(std::string tier, int replica, Time start, Time duration)
 }
 
 FaultPlan
+FaultPlan::cacheFlush(std::string tier, int replica, Time at)
+{
+    FaultSpec s;
+    s.kind = FaultKind::CacheFlush;
+    s.tier = std::move(tier);
+    s.replica = replica;
+    s.start = at;
+    // Instantaneous: materialise() needs a non-empty window, the
+    // sweep emits only its begin.
+    s.duration = 1;
+    return FaultPlan{}.add(std::move(s));
+}
+
+FaultPlan
 FaultPlan::flaky(std::string tier, int replica, Time mttf, Time mttr)
 {
     FaultSpec s;
@@ -216,12 +233,28 @@ Injector::targetReplicas(const FaultSpec &spec, svc::Tier &tier) const
     return out;
 }
 
+svc::Tier &
+Injector::targetTier(const FaultSpec &spec)
+{
+    svc::Tier *tier = graph_.findTier(spec.tier);
+    TPV_ASSERT(tier != nullptr, "fault targets unknown tier '",
+               spec.tier, "'");
+    return *tier;
+}
+
 void
 Injector::arm(Time horizon)
 {
     TPV_ASSERT(!armed_, "injector armed twice");
     armed_ = true;
     const Time now = sim_.now();
+
+    // Materialise every spec's windows (rng draws in spec order, as
+    // always) and lay their begin/detect/end out exactly as the
+    // serial engine would execute them: by time, ties in arm order
+    // (the serial queue pops same-instant events in insertion order).
+    std::vector<SweepEntry> sweep;
+    std::uint64_t order = 0;
     for (const FaultSpec &spec : plan_.faults) {
         for (const FaultWindow &w : materialise(spec, horizon, rng_)) {
             FaultWindow clamped = w;
@@ -232,43 +265,211 @@ Injector::arm(Time horizon)
             clamped.end = std::min(w.end, horizon);
             if (clamped.start >= clamped.end)
                 continue;
-            applyWindow(spec, clamped);
             ++windowsArmed_;
+            sweep.push_back(SweepEntry{clamped.start, order++,
+                                       SweepEntry::Begin, &spec});
+            if (spec.kind == FaultKind::ReplicaCrash) {
+                // Failure detection is a separate event: only once it
+                // fires do senders suspect the replica and re-issue
+                // outstanding sub-requests. A crash that heals before
+                // detection was a blip nobody ever acted on.
+                const Time detectAt = clamped.start + spec.detectDelay;
+                if (detectAt < clamped.end) {
+                    sweep.push_back(SweepEntry{detectAt, order++,
+                                               SweepEntry::Detect,
+                                               &spec});
+                }
+            }
+            if (spec.kind != FaultKind::CacheFlush) {
+                sweep.push_back(SweepEntry{clamped.end, order++,
+                                           SweepEntry::End, &spec});
+            }
+        }
+    }
+    std::stable_sort(sweep.begin(), sweep.end(),
+                     [](const SweepEntry &a, const SweepEntry &b) {
+                         return a.when < b.when;
+                     });
+
+    // Replay the timeline through the engage state machine and
+    // schedule the concrete flips it implies. Everything the replay
+    // decides (who flips, when, with what pause length) is settled
+    // here, offline; the scheduled ops just apply the flips — each in
+    // the event-queue domain owning the touched state, so a
+    // partitioned run never mutates another domain's state mid-window.
+    for (const SweepEntry &e : sweep) {
+        switch (e.type) {
+          case SweepEntry::Begin:
+            replayBegin(e);
+            break;
+          case SweepEntry::Detect:
+            replayDetect(e);
+            break;
+          case SweepEntry::End:
+            replayEnd(e);
+            break;
         }
     }
 }
 
 void
-Injector::applyWindow(const FaultSpec &spec, const FaultWindow &w)
+Injector::replayBegin(const SweepEntry &e)
 {
-    // Capturing the spec pointer is safe: plan_ is owned by the
-    // injector, which outlives the run.
-    const FaultSpec *s = &spec;
-    sim_.at(w.start, [this, s] {
-        ++graph_.mutableStats().faultsInjected;
-        setActive(*s, true);
-    });
-    if (spec.kind == FaultKind::ReplicaCrash) {
-        // Failure detection is a separate event: only once it fires
-        // do senders suspect the replica and re-issue outstanding
-        // sub-requests. A crash that heals before detection was a
-        // blip nobody ever acted on.
-        const Time detectAt = w.start + spec.detectDelay;
-        if (detectAt < w.end)
-            sim_.at(detectAt, [this, s] { detect(*s); });
+    const FaultSpec &spec = *e.spec;
+
+    if (spec.kind == FaultKind::LinkDegrade) {
+        // The window-open count lives on the harness domain.
+        sim_.atDomain(0, e.when, [this] {
+            ++graph_.mutableStats().faultsInjected;
+        });
+        for (std::size_t i = 0; i < graph_.linkCount(); ++i) {
+            if (spec.link >= 0 &&
+                i != static_cast<std::size_t>(spec.link))
+                continue;
+            net::Link *link = &graph_.link(i);
+            if (!engage(link, 0, spec.kind, true))
+                continue; // another window already holds the fault
+            const Time added = spec.addedLatency;
+            const double loss = spec.lossFraction;
+            // Homed where the link's sends draw rng: the loss counter
+            // binds to that domain's stats shard, where the drops
+            // will be counted.
+            sim_.atDomain(graph_.linkHomeDomain(i), e.when,
+                          [this, link, added, loss] {
+                              link->degrade(
+                                  added, loss,
+                                  &graph_.mutableStats().requestsLost);
+                          });
+        }
+        return;
     }
-    sim_.at(w.end, [this, s] { setActive(*s, false); });
+
+    svc::Tier &tier = targetTier(spec);
+    const int ti = tier.tierIndex();
+    sim_.atDomain(0, e.when, [this, ti] {
+        svc::ServiceStats &stats = graph_.mutableStats();
+        ++stats.faultsInjected;
+        ++stats.tiers[static_cast<std::size_t>(ti)].faultsInjected;
+    });
+
+    svc::Tier *t = &tier;
+    for (int r : targetReplicas(spec, tier)) {
+        if (spec.kind == FaultKind::CacheFlush) {
+            // Instantaneous, engage-free: every window flushes. Runs
+            // on the replica's machine, whose workers own the cache.
+            sim_.atDomain(t->machine(r).simDomain(), e.when,
+                          [this, t, r] { graph_.flushCaches(*t, r); });
+            continue;
+        }
+        // Overlapping windows of the same kind on one replica
+        // compose: engage on the first begin, revert on the last
+        // end. (Overlapping slowdowns keep the first factor.)
+        if (!engage(t, r, spec.kind, true))
+            continue;
+        switch (spec.kind) {
+          case FaultKind::ReplicaCrash:
+            // The crash itself; detection (suspicion + re-issue of
+            // outstanding subs) is the separate Detect entry,
+            // detectDelay later.
+            sim_.atDomain(t->machine(r).simDomain(), e.when,
+                          [t, r] { t->setReplicaUp(r, false); });
+            break;
+          case FaultKind::ReplicaSlowdown: {
+            const double factor = spec.slowFactor;
+            sim_.atDomain(t->machine(r).simDomain(), e.when,
+                          [t, r, factor] {
+                              t->setReplicaSlowdown(r, factor);
+                          });
+            break;
+          }
+          case FaultKind::Pause: {
+            // Freeze start recorded offline, so the flip-off op can
+            // bill the exact interval; overlapping windows bill the
+            // freeze the machine actually experienced (once), and
+            // replica=-1 over N machines bills N machine-pauses —
+            // same as N specs.
+            hw::Machine *m = &t->machine(r);
+            frozenSince_[m] = e.when;
+            sim_.atDomain(m->simDomain(), e.when,
+                          [m] { m->setFrozen(true); });
+            break;
+          }
+          case FaultKind::LinkDegrade:
+          case FaultKind::CacheFlush:
+            break; // handled above
+        }
+    }
 }
 
 void
-Injector::detect(const FaultSpec &spec)
+Injector::replayDetect(const SweepEntry &e)
 {
-    svc::Tier *tier = graph_.findTier(spec.tier);
-    TPV_ASSERT(tier != nullptr, "fault targets unknown tier '",
-               spec.tier, "'");
-    for (int r : targetReplicas(spec, *tier)) {
-        tier->setReplicaSuspected(r, true);
-        graph_.notifyReplicaDown(*tier, r);
+    // One event on the fan-out parents' timeline — the domain that
+    // reads suspicion flags and re-issues outstanding sub-requests
+    // (planPartitions keeps all parents of one child together).
+    const FaultSpec *s = e.spec;
+    svc::Tier &tier = targetTier(*s);
+    sim_.atDomain(graph_.detectDomainFor(tier), e.when, [this, s] {
+        svc::Tier &t = targetTier(*s);
+        for (int r : targetReplicas(*s, t)) {
+            t.setReplicaSuspected(r, true);
+            graph_.notifyReplicaDown(t, r);
+        }
+    });
+}
+
+void
+Injector::replayEnd(const SweepEntry &e)
+{
+    const FaultSpec &spec = *e.spec;
+
+    if (spec.kind == FaultKind::LinkDegrade) {
+        for (std::size_t i = 0; i < graph_.linkCount(); ++i) {
+            if (spec.link >= 0 &&
+                i != static_cast<std::size_t>(spec.link))
+                continue;
+            net::Link *link = &graph_.link(i);
+            if (!engage(link, 0, spec.kind, false))
+                continue;
+            sim_.atDomain(graph_.linkHomeDomain(i), e.when,
+                          [link] { link->clearDegrade(); });
+        }
+        return;
+    }
+
+    svc::Tier &tier = targetTier(spec);
+    svc::Tier *t = &tier;
+    for (int r : targetReplicas(spec, tier)) {
+        if (!engage(t, r, spec.kind, false))
+            continue;
+        switch (spec.kind) {
+          case FaultKind::ReplicaCrash: {
+            // Restart: the up flip belongs to the replica's machine;
+            // the suspicion clear to the detectors' timeline (the
+            // flag's readers live there).
+            sim_.atDomain(t->machine(r).simDomain(), e.when,
+                          [t, r] { t->setReplicaUp(r, true); });
+            sim_.atDomain(graph_.detectDomainFor(tier), e.when,
+                          [t, r] { t->setReplicaSuspected(r, false); });
+            break;
+          }
+          case FaultKind::ReplicaSlowdown:
+            sim_.atDomain(t->machine(r).simDomain(), e.when,
+                          [t, r] { t->setReplicaSlowdown(r, 1.0); });
+            break;
+          case FaultKind::Pause: {
+            hw::Machine *m = &t->machine(r);
+            const Time len = e.when - frozenSince_[m];
+            sim_.atDomain(m->simDomain(), e.when, [this, m, len] {
+                graph_.mutableStats().pauseTime += len;
+                m->setFrozen(false);
+            });
+            break;
+          }
+          case FaultKind::LinkDegrade:
+          case FaultKind::CacheFlush:
+            break; // link handled above; flush has no end
+        }
     }
 }
 
@@ -283,73 +484,6 @@ Injector::engage(const void *target, int sub, FaultKind kind,
         return ++count == 1;
     TPV_ASSERT(count > 0, "fault window end without a begin");
     return --count == 0;
-}
-
-void
-Injector::setActive(const FaultSpec &spec, bool active)
-{
-    svc::ServiceStats &stats = graph_.mutableStats();
-    if (spec.kind == FaultKind::LinkDegrade) {
-        for (std::size_t i = 0; i < graph_.linkCount(); ++i) {
-            if (spec.link >= 0 &&
-                i != static_cast<std::size_t>(spec.link))
-                continue;
-            net::Link &link = graph_.link(i);
-            if (!engage(&link, 0, spec.kind, active))
-                continue; // another window still holds the fault
-            if (active) {
-                link.degrade(spec.addedLatency, spec.lossFraction,
-                             &stats.requestsLost);
-            } else {
-                link.clearDegrade();
-            }
-        }
-        return;
-    }
-
-    svc::Tier *tier = graph_.findTier(spec.tier);
-    TPV_ASSERT(tier != nullptr, "fault targets unknown tier '",
-               spec.tier, "'");
-    if (active) {
-        ++stats.tiers[static_cast<std::size_t>(tier->tierIndex())]
-              .faultsInjected;
-    }
-    for (int r : targetReplicas(spec, *tier)) {
-        // Overlapping windows of the same kind on one replica
-        // compose: engage on the first begin, revert on the last
-        // end. (Overlapping slowdowns keep the first factor.)
-        if (!engage(tier, r, spec.kind, active))
-            continue;
-        switch (spec.kind) {
-          case FaultKind::ReplicaCrash:
-            // The crash itself: detection (suspicion + re-issue of
-            // outstanding subs) is the separate detect() event,
-            // detectDelay later. The restart clears both states.
-            tier->setReplicaUp(r, !active);
-            if (!active)
-                tier->setReplicaSuspected(r, false);
-            break;
-          case FaultKind::ReplicaSlowdown:
-            tier->setReplicaSlowdown(r, active ? spec.slowFactor : 1.0);
-            break;
-          case FaultKind::Pause: {
-            // Accrue pauseTime per machine transition, so
-            // overlapping windows bill the freeze the machine
-            // actually experienced (once), and replica=-1 over N
-            // machines bills N machine-pauses — same as N specs.
-            hw::Machine &m = tier->machine(r);
-            if (active) {
-                frozenSince_[&m] = sim_.now();
-            } else {
-                stats.pauseTime += sim_.now() - frozenSince_[&m];
-            }
-            m.setFrozen(active);
-            break;
-          }
-          case FaultKind::LinkDegrade:
-            break; // handled above
-        }
-    }
 }
 
 } // namespace fault

@@ -58,9 +58,14 @@ enum class FaultKind : std::uint8_t
     ReplicaSlowdown,
     LinkDegrade,
     Pause,
+    /** Instantaneously wipe the targeted replica's caches at each
+     *  window start (restart-without-state, accidental invalidation,
+     *  a config push clearing a pool). No end action: the cache
+     *  refills by itself — the fault *is* the cold start. */
+    CacheFlush,
 };
 
-/** @return kind name ("kill", "slow", "link", "pause"). */
+/** @return kind name ("kill", "slow", "link", "pause", "flush"). */
 const char *toString(FaultKind k);
 
 /** One active interval of a fault. */
@@ -159,6 +164,11 @@ struct FaultPlan
     static FaultPlan pause(std::string tier, int replica, Time start,
                            Time duration);
 
+    /** Wipe @p tier/@p replica's caches (-1 = every replica) at
+     *  @p at. Needs a cache-owning service (MemcachedCluster with a
+     *  finite-cache shape); otherwise it only counts. */
+    static FaultPlan cacheFlush(std::string tier, int replica, Time at);
+
     /** Crash/restart @p tier/@p replica on a seeded alternating
      *  process with exponential mean dwells @p mttf / @p mttr. */
     static FaultPlan flaky(std::string tier, int replica, Time mttf,
@@ -172,6 +182,18 @@ struct FaultPlan
  * events call back into it. All stochastic window draws come from
  * the injector's rng (forked from the run seed), so serial and
  * parallel executions of a grid see identical fault timelines.
+ *
+ * Domain-aware: arm() replays the whole fault timeline *offline* —
+ * every window begin/detect/end in serial execution order, through
+ * the overlap-composition (engage) state machine — and schedules the
+ * resulting concrete state flips as events homed in the domain that
+ * owns the flipped state (a replica's machine for up/slowdown flips,
+ * the fan-out parents' timeline for suspicion, a link's sender side
+ * for degrades). A partitioned run therefore never flips another
+ * domain's state mid-window, which is what lets faulty runs execute
+ * on the parallel engine at all; the op decomposition is a pure
+ * function of plan + topology, so serial and partitioned runs
+ * execute identical event sets.
  */
 class Injector
 {
@@ -198,27 +220,40 @@ class Injector
                                                 Time horizon, Rng &rng);
 
   private:
-    /** Schedule the begin/end events of one window. */
-    void applyWindow(const FaultSpec &spec, const FaultWindow &w);
+    /** One begin/detect/end of the offline timeline replay, in the
+     *  order the serial engine would execute them. */
+    struct SweepEntry
+    {
+        enum Type : std::uint8_t { Begin, Detect, End };
 
-    /** Flip @p spec's fault on (@p active) or off at the current
-     *  simulated time. */
-    void setActive(const FaultSpec &spec, bool active);
+        Time when = 0;
+        /** Arm order: the serial insertion sequence, tie-break for
+         *  entries sharing a nanosecond. */
+        std::uint64_t order = 0;
+        Type type = Begin;
+        const FaultSpec *spec = nullptr;
+    };
 
-    /** The failure detector fires for a crash spec: suspect the
-     *  replica(s) and trigger fan-out re-issues. */
-    void detect(const FaultSpec &spec);
+    /** Replay one sweep entry: advance the engage state machine and
+     *  schedule the concrete ops it implies into their domains. */
+    void replayBegin(const SweepEntry &e);
+    void replayDetect(const SweepEntry &e);
+    void replayEnd(const SweepEntry &e);
 
     /** Replica list a spec targets (-1 expands to all). */
     std::vector<int> targetReplicas(const FaultSpec &spec,
                                     svc::Tier &tier) const;
+
+    /** Tier a spec targets (asserts it exists). */
+    svc::Tier &targetTier(const FaultSpec &spec);
 
     /**
      * Track overlapping windows of the same (target, sub-target,
      * kind): the fault engages on the first window in and reverts on
      * the last window out, so two specs whose windows overlap on one
      * replica compose instead of the earlier end event cancelling
-     * the later window.
+     * the later window. Pure bookkeeping, advanced during the
+     * offline replay.
      * @return true when the state should actually flip.
      */
     bool engage(const void *target, int sub, FaultKind kind,
@@ -230,9 +265,10 @@ class Injector
     Rng rng_;
     bool armed_ = false;
     std::uint64_t windowsArmed_ = 0;
-    /** (target, sub, kind) -> active window count. */
+    /** (target, sub, kind) -> active window count (offline replay). */
     std::map<std::tuple<const void *, int, int>, int> active_;
-    /** Machine -> freeze start, for exact pauseTime accrual. */
+    /** Machine -> freeze start during the replay, for exact pauseTime
+     *  accrual (billed by the flip-off op). */
     std::map<const void *, Time> frozenSince_;
 };
 

@@ -132,6 +132,17 @@ class PartitionedEngine
     /** Schedule at an absolute time into the calling domain. */
     EventHandle at(Time when, Callback cb);
 
+    /**
+     * Schedule at an absolute time into an *explicit* domain. Only
+     * sound before the crew starts (run setup on the main thread):
+     * fault::Injector homes each state flip in the domain owning the
+     * flipped state, and tick loops are re-homed to their machines'
+     * domains. Pre-run events draw instant-0 sequence keys, so within
+     * a domain they sort before anything scheduled during the run at
+     * the same nanosecond — exactly like serial arm-time insertion.
+     */
+    EventHandle atDomain(int domain, Time when, Callback cb);
+
     /** Cancel: routed to the owning domain by the handle's tag. Only
      *  sound from the owning domain's thread (every cancellation site
      *  in the tree cancels timers it armed itself). */
@@ -162,9 +173,26 @@ class PartitionedEngine
      * Advance all domains to @p deadline in lookahead-sized windows
      * (executes every event with time <= deadline, exactly like the
      * serial Simulator::runUntil). Call once per run, from the thread
-     * that owns the Simulator.
+     * that owns the Simulator. The caller is crew member 0; the other
+     * threads - 1 members come from a persistent process-wide worker
+     * pool parked on a condvar between runs (like core::Executor), so
+     * a grid of thousands of short runs pays thread spawn cost once,
+     * not per run.
      */
     Time runUntil(Time deadline);
+
+    /**
+     * Force the pre-pool behaviour: spawn and join a fresh crew of
+     * std::threads on every runUntil(). Process-wide toggle, only for
+     * benchmarking the persistent pool against its predecessor
+     * (bench/hotpath's crew-batch metric).
+     */
+    static void crewSpawnPerRun(bool enable);
+
+    /** Workers ever spawned by the persistent crew pool (grows to the
+     *  widest concurrent demand, then stays flat — the no-churn test
+     *  pins this across a run batch). */
+    static std::size_t crewThreadsSpawned();
 
     /**
      * True when a run broke a conservative invariant (a cross-domain

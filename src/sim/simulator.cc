@@ -35,6 +35,16 @@ Simulator::at(Time when, EventQueue::Callback cb)
     return queue_.schedule(when, std::move(cb));
 }
 
+EventHandle
+Simulator::atDomain(int domain, Time when, EventQueue::Callback cb)
+{
+    if (part_)
+        return part_->atDomain(domain, when, std::move(cb));
+    TPV_ASSERT(when >= now_, "scheduling into the past: when=", when,
+               " now=", now_);
+    return queue_.schedule(when, std::move(cb));
+}
+
 bool
 Simulator::cancel(EventHandle h)
 {

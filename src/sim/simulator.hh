@@ -59,6 +59,15 @@ class Simulator
      */
     EventHandle at(Time when, EventQueue::Callback cb);
 
+    /**
+     * Schedule @p cb at @p when into event-queue domain @p domain of a
+     * partitioned run (run setup only, from the main thread — fault
+     * injectors and tick re-homing use this to place events in the
+     * domain owning the touched state). Serial runs ignore the domain:
+     * there is only one timeline, so this is exactly at().
+     */
+    EventHandle atDomain(int domain, Time when, EventQueue::Callback cb);
+
     /** Cancel a pending event. @return true if it was still pending. */
     bool cancel(EventHandle h);
 
@@ -97,14 +106,14 @@ class Simulator
      * Switch this run to the conservative windowed parallel engine:
      * @p domains event-queue domains advanced by @p threads crew
      * threads in windows of @p lookahead. Call during setup, before
-     * the run starts: events already scheduled (construction-time tick
-     * loops) are adopted into domain 0 in serial order, so the caller
-     * must ensure every pre-existing event belongs to the setup
-     * domain — runOnce() stays serial when the server config is not
-     * tickless for exactly this reason — and that no EventHandle to
-     * them is retained. Refuses degenerate shapes (fewer than 2
-     * domains or threads, zero lookahead) by returning false — the run
-     * then just stays serial.
+     * the run starts: events already scheduled are adopted into
+     * domain 0 in serial order, so the caller must first detach any
+     * event belonging to another domain (ServiceGraph::detachTicks
+     * pulls server tick loops out; attachTicks re-homes them with
+     * atDomain after this returns) and ensure no EventHandle to an
+     * adopted event is retained. Refuses degenerate shapes (fewer
+     * than 2 domains or threads, zero lookahead) by returning false —
+     * the run then just stays serial.
      */
     bool enablePartition(int domains, Time lookahead, int threads);
 

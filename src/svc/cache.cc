@@ -271,5 +271,16 @@ CacheModel::put(std::uint64_t key, std::uint32_t valueBytes)
     return evictions_ - before;
 }
 
+void
+CacheModel::flush()
+{
+    slots_.clear();
+    freeSlots_.clear();
+    index_.clear();
+    head_[0] = head_[1] = tail_[0] = tail_[1] = -1;
+    segSize_[0] = segSize_[1] = 0;
+    bytesUsed_ = 0;
+}
+
 } // namespace svc
 } // namespace tpv

@@ -131,6 +131,15 @@ class CacheModel
      *  so studies only count steady-state traffic). */
     void resetCounters() { hits_ = misses_ = evictions_ = 0; }
 
+    /**
+     * Drop every resident entry — the fault::FaultKind::CacheFlush
+     * action (restart-without-state, accidental invalidation). The
+     * hit/miss/eviction counters survive (flushed keys are not
+     * evictions; the refill misses that follow are the fault's
+     * signature), as does the eviction rng stream.
+     */
+    void flush();
+
   private:
     struct Entry
     {

@@ -300,6 +300,16 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
                 caches_.back().resetCounters();
             }
         }
+
+        // Let fault::FaultKind::CacheFlush reach the finite caches:
+        // wipe every shard the targeted replica owns (a replica
+        // restarts with all its shards cold, not one).
+        graph_.setCacheFlushHook([this](Tier &tier, int replica) {
+            if (&tier != cache_)
+                return;
+            for (int s = 0; s < params_.shards; ++s)
+                cacheModel(replica, s).flush();
+        });
     }
 }
 

@@ -27,7 +27,10 @@ SocialNetworkApp::SocialNetworkApp(Simulator &sim,
         t.responseBytes = params_.responseBytes;
         stages_.push_back(&graph_.addTier(machine, std::move(t)));
     }
-    loopback_ = &graph_.addLink(params_.loopback);
+    // Both ends on the single app machine: never a cut edge, so its
+    // (typically tiny) loopback latency does not bound the parallel
+    // engine's window.
+    loopback_ = &graph_.addLink(params_.loopback, &machine, {&machine});
 
     // Chain the stages over the loopback link; the last stage keeps
     // the default handler and replies to the client via the graph.

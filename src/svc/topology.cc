@@ -515,13 +515,29 @@ Tier::makeReply(const net::Message &msg, Time work)
     return resp;
 }
 
+namespace {
+
+/** Every host of @p tier, for link-edge endpoint declarations. */
+std::vector<hw::Machine *>
+tierHosts(Tier &tier)
+{
+    std::vector<hw::Machine *> hosts;
+    hosts.reserve(static_cast<std::size_t>(tier.replicaCount()));
+    for (int r = 0; r < tier.replicaCount(); ++r)
+        hosts.push_back(&tier.machine(r));
+    return hosts;
+}
+
+} // namespace
+
 Fanout::Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
                FanoutParams params, Complete onComplete)
     : graph_(graph), parent_(parent), child_(child),
       params_(std::move(params)),
       policy_(resolveHedgePolicy(params_.policy, params_.hedgeDelay)),
       onComplete_(std::move(onComplete)),
-      toChild_(graph.addLink(params_.link)),
+      toChild_(graph.addLink(params_.link, &parent.machine(0),
+                             tierHosts(child))),
       mergePort_(std::make_unique<PortEndpoint>(
           [this](const net::Message &m) { onReply(m); },
           &parent.machine())),
@@ -561,8 +577,12 @@ Fanout::Fanout(ServiceGraph &graph, Tier &parent, Tier &child,
     // mirroring Tier::instanceFor.
     const int upLinks = std::max(child_.replicaCount(), 1);
     toParent_.reserve(static_cast<std::size_t>(upLinks));
-    for (int r = 0; r < upLinks; ++r)
-        toParent_.push_back(&graph.addLink(params_.link));
+    for (int r = 0; r < upLinks; ++r) {
+        toParent_.push_back(&graph.addLink(
+            params_.link,
+            &child_.machine(std::min(r, child_.replicaCount() - 1)),
+            {&parent.machine(0)}));
+    }
     // Hedge-rate budget: a token bucket (same machinery as the retry
     // budget) earning params_.hedgeBudget tokens per primary dispatch;
     // a hedge that finds the bucket empty is suppressed and counted.
@@ -1241,10 +1261,12 @@ ServiceGraph::absorbSubLoss(Tier &tier, const net::Message &msg)
 }
 
 net::Link &
-ServiceGraph::addLink(net::Link::Params params)
+ServiceGraph::addLink(net::Link::Params params, hw::Machine *from,
+                      std::vector<hw::Machine *> to)
 {
     links_.push_back(
         std::make_unique<net::Link>(sim_, rng_.fork(), params));
+    edges_.push_back(LinkEdge{from, std::move(to)});
     return *links_.back();
 }
 
@@ -1324,6 +1346,7 @@ addInto(ServiceStats &into, const ServiceStats &from)
     into.cacheMisses += from.cacheMisses;
     into.cacheFills += from.cacheFills;
     into.cacheEvictions += from.cacheEvictions;
+    into.cacheFlushes += from.cacheFlushes;
     for (std::size_t i = 0; i < from.tiers.size(); ++i)
         addInto(into.tiers[i], from.tiers[i]);
 }
@@ -1361,21 +1384,31 @@ ServiceGraph::shardStats(int domains)
     statShards_.assign(static_cast<std::size_t>(domains), stats_);
 }
 
-int
-ServiceGraph::planPartitions(int firstDomain)
+std::vector<hw::Machine *>
+ServiceGraph::tierMachines()
 {
     // Every machine hosting a tier instance, in deterministic
     // (tier, replica) first-appearance order — covers machines owned
     // by the graph and external ones (a single-tier server's host).
     std::vector<hw::Machine *> machines;
-    std::unordered_map<const hw::Machine *, std::size_t> index;
+    std::unordered_map<const hw::Machine *, std::size_t> seen;
     for (auto &t : tiers_) {
         for (int r = 0; r < t->replicaCount(); ++r) {
             hw::Machine *m = &t->machine(r);
-            if (index.emplace(m, machines.size()).second)
+            if (seen.emplace(m, machines.size()).second)
                 machines.push_back(m);
         }
     }
+    return machines;
+}
+
+int
+ServiceGraph::planPartitions(int firstDomain, int maxDomains)
+{
+    std::vector<hw::Machine *> machines = tierMachines();
+    std::unordered_map<const hw::Machine *, std::size_t> index;
+    for (std::size_t i = 0; i < machines.size(); ++i)
+        index.emplace(machines[i], i);
 
     // Union-find with path halving; machines that must share one
     // event-queue timeline are merged.
@@ -1419,26 +1452,145 @@ ServiceGraph::planPartitions(int firstDomain)
                 unite(machineIndex(p.machine(0)),
                       machineIndex(c.machine(r)));
         }
+        // A crash detection against a child tier flips its suspicion
+        // flags from the parents' timeline (detectDomainFor): every
+        // fan-out feeding one child must share a parent domain.
+        for (auto &g : fanouts_) {
+            if (g.get() != f.get() && &g->child() == &f->child())
+                unite(machineIndex(f->parent().machine(0)),
+                      machineIndex(g->parent().machine(0)));
+        }
     }
 
-    int next = firstDomain;
-    std::unordered_map<std::size_t, int> domainOf;
-    for (std::size_t i = 0; i < machines.size(); ++i) {
-        const auto [it, fresh] = domainOf.emplace(find(i), next);
-        if (fresh)
-            ++next;
-        machines[i]->setSimDomain(it->second);
+    // Merged groups in first-appearance order, with a config-derived
+    // work weight: the tier workers hosted on the group's machines.
+    // Never timing-derived, so a config always yields the same plan.
+    std::vector<std::uint64_t> machineWeight(machines.size(), 0);
+    for (auto &t : tiers_) {
+        for (int r = 0; r < t->replicaCount(); ++r) {
+            machineWeight[machineIndex(t->machine(r))] +=
+                static_cast<std::uint64_t>(
+                    std::max(1, t->params().workers));
+        }
     }
-    return next - firstDomain;
+    std::vector<std::size_t> groupOf(machines.size());
+    std::vector<std::uint64_t> groupWeight;
+    std::unordered_map<std::size_t, std::size_t> groupIndex;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        const auto [it, fresh] =
+            groupIndex.emplace(find(i), groupWeight.size());
+        if (fresh)
+            groupWeight.push_back(0);
+        groupOf[i] = it->second;
+        groupWeight[it->second] += machineWeight[i];
+    }
+
+    const auto groups = groupWeight.size();
+    const auto bins =
+        maxDomains > 0
+            ? std::min(groups, static_cast<std::size_t>(maxDomains))
+            : groups;
+    std::vector<std::size_t> binOf(groups);
+    if (bins == groups) {
+        for (std::size_t g = 0; g < groups; ++g)
+            binOf[g] = g;
+    } else {
+        // Longest-processing-time greedy: place groups heaviest-first
+        // into the lightest bin. Deterministic tie-breaks — equal
+        // weights keep first-appearance order, equal bins take the
+        // lowest index — so the packing is a pure function of config.
+        std::vector<std::size_t> order(groups);
+        for (std::size_t g = 0; g < groups; ++g)
+            order[g] = g;
+        std::stable_sort(order.begin(), order.end(),
+                         [&groupWeight](std::size_t a, std::size_t b) {
+                             return groupWeight[a] > groupWeight[b];
+                         });
+        std::vector<std::uint64_t> binWeight(bins, 0);
+        for (std::size_t g : order) {
+            std::size_t lightest = 0;
+            for (std::size_t b = 1; b < bins; ++b) {
+                if (binWeight[b] < binWeight[lightest])
+                    lightest = b;
+            }
+            binOf[g] = lightest;
+            binWeight[lightest] += groupWeight[g];
+        }
+    }
+
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        machines[i]->setSimDomain(
+            firstDomain + static_cast<int>(binOf[groupOf[i]]));
+    }
+    return static_cast<int>(bins);
 }
 
 Time
-ServiceGraph::minLinkFloor() const
+ServiceGraph::minCutFloor() const
 {
     Time floor = kTimeNever;
-    for (const auto &l : links_)
-        floor = std::min(floor, net::Link::minDelayFloor(l->params()));
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        const LinkEdge &e = edges_[i];
+        bool cut = e.from == nullptr || e.to.empty();
+        if (!cut) {
+            for (const hw::Machine *m : e.to) {
+                if (m->simDomain() != e.from->simDomain()) {
+                    cut = true;
+                    break;
+                }
+            }
+        }
+        if (cut) {
+            floor = std::min(
+                floor, net::Link::minDelayFloor(links_[i]->params()));
+        }
+    }
     return floor;
+}
+
+int
+ServiceGraph::detectDomainFor(Tier &tier)
+{
+    for (auto &f : fanouts_) {
+        if (&f->child() == &tier)
+            return f->parent().machine(0).simDomain();
+    }
+    return tier.machine(0).simDomain();
+}
+
+int
+ServiceGraph::linkHomeDomain(std::size_t i) const
+{
+    const LinkEdge &e = edges_.at(i);
+    return e.from != nullptr ? e.from->simDomain() : 0;
+}
+
+void
+ServiceGraph::detachTicks()
+{
+    for (hw::Machine *m : tierMachines())
+        m->detachTicks();
+}
+
+void
+ServiceGraph::attachTicks()
+{
+    for (hw::Machine *m : tierMachines())
+        m->attachTicks();
+}
+
+void
+ServiceGraph::setCacheFlushHook(CacheFlushHook hook)
+{
+    cacheFlushHook_ = std::move(hook);
+}
+
+void
+ServiceGraph::flushCaches(Tier &tier, int replica)
+{
+    ++mutableStats().cacheFlushes;
+    if (cacheFlushHook_)
+        cacheFlushHook_(tier, replica);
 }
 
 } // namespace svc

@@ -153,6 +153,8 @@ struct ServiceStats
     std::uint64_t cacheFills = 0;
     /** Entries evicted to make room (fills and SETs combined). */
     std::uint64_t cacheEvictions = 0;
+    /** Replica caches wiped by injected CacheFlush faults. */
+    std::uint64_t cacheFlushes = 0;
     /** Per-tier breakdown (ServiceGraph services; empty otherwise). */
     std::vector<TierBreakdown> tiers;
 };
@@ -845,8 +847,16 @@ class ServiceGraph : public net::Endpoint
     Tier &addReplicatedTier(const hw::HwConfig &cfg, int replicas,
                             TierParams params);
 
-    /** Add an intra-cluster link owned by the graph. */
-    net::Link &addLink(net::Link::Params params);
+    /**
+     * Add an intra-cluster link owned by the graph. @p from / @p to
+     * name the machines whose domains the link connects (sender side /
+     * possible receiver sides) so the partition planner can tell cut
+     * edges from intra-domain ones; a link added without endpoints is
+     * conservatively treated as cut by every plan.
+     */
+    net::Link &addLink(net::Link::Params params,
+                       hw::Machine *from = nullptr,
+                       std::vector<hw::Machine *> to = {});
 
     /** Add a scatter-gather edge from @p parent to @p child. */
     Fanout &addFanout(Tier &parent, Tier &child, FanoutParams params,
@@ -875,20 +885,46 @@ class ServiceGraph : public net::Endpoint
      * event-queue domain, numbered from @p firstDomain. Machines that
      * must share a timeline are merged (union-find): all instances of
      * a non-partitionable tier, every fan-out's parent tier (the
-     * scatter pool and merge path live there), and — under the Tied
-     * policy — the fan-out's parent and child (the tie arbiter runs
-     * on child workers but mutates the parent-side context).
+     * scatter pool and merge path live there), all parents feeding one
+     * child tier (a crash detection flips the child's suspicion flags
+     * from the parents' timeline, so multiple readers must share it),
+     * and — under the Tied policy — the fan-out's parent and child
+     * (the tie arbiter runs on child workers but mutates the
+     * parent-side context).
+     *
+     * When @p maxDomains > 0 and the merged groups outnumber it, the
+     * groups are packed into exactly @p maxDomains domains by
+     * longest-processing-time greedy binning on a config-derived
+     * weight (the tier worker counts hosted on each machine — never a
+     * timing measurement, so the same config always packs the same
+     * way). Groups of equal weight pack in first-appearance order and
+     * ties go to the lowest bin, keeping the plan deterministic.
      * @return the number of domains assigned.
      */
-    int planPartitions(int firstDomain);
+    int planPartitions(int firstDomain, int maxDomains = 0);
 
     /**
-     * Conservative minimum over the graph's intra-cluster links of
-     * the smallest delay a send can draw — the lookahead bound the
-     * windowed parallel engine advances by. 0 when any link can
-     * deliver instantly (the graph is then not partitionable).
+     * Smallest delay floor over the intra-cluster links the *current
+     * partition plan actually cuts* (endpoint domains differ), the
+     * lookahead bound the windowed engine advances by. Call after
+     * planPartitions(). Links with unknown endpoints count as cut;
+     * kTimeNever when no graph link crosses domains (the client links
+     * then bound the window alone). 0 when a cut link can deliver
+     * instantly — the graph is then not partitionable.
      */
-    Time minLinkFloor() const;
+    Time minCutFloor() const;
+
+    /**
+     * Tick-loop migration (see hw::Machine::detachTicks): detach every
+     * tier-hosting machine's pending tick events before
+     * Simulator::enablePartition() adopts the setup queue; re-home
+     * them into their machines' planned domains after. Machine order
+     * is deterministic (tier, replica) first appearance — construction
+     * order for every topology in the tree — so same-instant ticks
+     * keep their serial ordering.
+     */
+    void detachTicks();
+    void attachTicks();
 
     /**
      * Shard the service counters per event-queue domain (@p domains
@@ -922,6 +958,32 @@ class ServiceGraph : public net::Endpoint
     void notifyReplicaDown(Tier &tier, int replica);
 
     /**
+     * Domain that must run a failure *detection* against @p tier: the
+     * parent timeline of the fan-outs feeding it — suspicion flags and
+     * the fail-over re-issue state are read there (planPartitions
+     * unites all such parents). Falls back to the tier's own machine
+     * when nothing fans out to it (the flags then have no reader
+     * outside the tier). Meaningful after planPartitions(); 0 before.
+     */
+    int detectDomainFor(Tier &tier);
+
+    /** Domain whose timeline owns graph link @p i (its sender-side
+     *  machine; 0 when the endpoints were not declared). Link state
+     *  flips (degrade/clear) must run there. */
+    int linkHomeDomain(std::size_t i) const;
+
+    /**
+     * CacheFlush fault surface: a service owning per-replica caches
+     * (MemcachedCluster) registers the wipe here; flushCaches() — run
+     * by the injector in the replica machine's domain — invokes it
+     * and counts ServiceStats::cacheFlushes. Without a hook a flush
+     * only counts (nothing to wipe).
+     */
+    using CacheFlushHook = std::function<void(Tier &, int)>;
+    void setCacheFlushHook(CacheFlushHook hook);
+    void flushCaches(Tier &tier, int replica);
+
+    /**
      * Count one request terminally lost on tier @p tierIndex — the
      * single bump site for both the graph total and the per-tier
      * breakdown, so requestsLost always equals the sum over tiers.
@@ -952,6 +1014,19 @@ class ServiceGraph : public net::Endpoint
     Rng &rng() { return rng_; }
 
   private:
+    /** Partition-plan view of one graph link: which machine's domain
+     *  sends on it and which can receive. Parallel to links_. */
+    struct LinkEdge
+    {
+        hw::Machine *from = nullptr;
+        std::vector<hw::Machine *> to;
+    };
+
+    /** Tier-hosting machines in (tier, replica) first-appearance
+     *  order — the deterministic enumeration planPartitions and the
+     *  tick migration share. */
+    std::vector<hw::Machine *> tierMachines();
+
     Simulator &sim_;
     net::Link &replyLink_;
     net::Endpoint &client_;
@@ -961,6 +1036,8 @@ class ServiceGraph : public net::Endpoint
     std::vector<std::unique_ptr<hw::Machine>> machines_;
     std::vector<std::unique_ptr<Tier>> tiers_;
     std::vector<std::unique_ptr<net::Link>> links_;
+    std::vector<LinkEdge> edges_;
+    CacheFlushHook cacheFlushHook_;
     std::vector<std::unique_ptr<Fanout>> fanouts_;
     ServiceStats stats_;
     /** Per-domain counter shards (empty in serial runs). */

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "net/link.hh"
@@ -327,6 +329,36 @@ TEST(Injector, ExplicitWindowClampedToHorizon)
     inj.arm(msec(30));
     rig.sim.run();
     EXPECT_EQ(rig.graph.stats().pauseTime, msec(20));
+}
+
+TEST(Injector, CacheFlushFiresTheGraphHookPerReplica)
+{
+    // The injector's side of the flush fault: one hook call per
+    // targeted replica at the window start, counted like any other
+    // injected fault — replica -1 expands to every replica.
+    Rig rig(3);
+    std::vector<std::pair<std::string, int>> flushed;
+    rig.graph.setCacheFlushHook([&](svc::Tier &tier, int replica) {
+        flushed.emplace_back(tier.params().name, replica);
+    });
+    FaultPlan plan = FaultPlan::cacheFlush("solo", -1, msec(10));
+    EXPECT_EQ(plan.label(), "flush-all@10ms");
+    Injector inj(rig.sim, rig.graph, plan, Rng(5));
+    inj.arm(msec(40));
+    rig.sim.run();
+
+    ASSERT_EQ(flushed.size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+        EXPECT_EQ(flushed[static_cast<std::size_t>(r)].first, "solo");
+        EXPECT_EQ(flushed[static_cast<std::size_t>(r)].second, r);
+    }
+    const svc::ServiceStats &s = rig.graph.stats();
+    EXPECT_EQ(s.cacheFlushes, 3u);
+    EXPECT_EQ(s.faultsInjected, 1u);
+    EXPECT_EQ(s.tiers[0].faultsInjected, 1u);
+    EXPECT_EQ(inj.windowsArmed(), 1u);
+    // No end action: the replicas were never down.
+    EXPECT_TRUE(rig.tier->replicaUp(0));
 }
 
 TEST(Injector, CrashAllReplicas)

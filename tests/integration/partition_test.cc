@@ -18,8 +18,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "core/experiment.hh"
 #include "fault/fault.hh"
+#include "net/link.hh"
+#include "sim/partition.hh"
+#include "sim/simulator.hh"
+#include "svc/hdsearch.hh"
 #include "svc/topology.hh"
 
 namespace tpv {
@@ -51,9 +58,13 @@ expectSameRun(const core::RunResult &a, const core::RunResult &b)
     EXPECT_EQ(a.service.requestsShedDepth, b.service.requestsShedDepth);
     EXPECT_EQ(a.service.requestsShedDelay, b.service.requestsShedDelay);
     EXPECT_EQ(a.service.requestsLost, b.service.requestsLost);
+    EXPECT_EQ(a.service.faultsInjected, b.service.faultsInjected);
+    EXPECT_EQ(a.service.requestsFailedOver, b.service.requestsFailedOver);
+    EXPECT_EQ(a.service.pauseTime, b.service.pauseTime);
     EXPECT_EQ(a.service.cacheHits, b.service.cacheHits);
     EXPECT_EQ(a.service.cacheMisses, b.service.cacheMisses);
     EXPECT_EQ(a.service.cacheEvictions, b.service.cacheEvictions);
+    EXPECT_EQ(a.service.cacheFlushes, b.service.cacheFlushes);
     ASSERT_EQ(a.service.tiers.size(), b.service.tiers.size());
     for (std::size_t i = 0; i < a.service.tiers.size(); ++i) {
         EXPECT_EQ(a.service.tiers[i].requestsDispatched,
@@ -156,17 +167,95 @@ TEST(IntraRunParallel, MatchesSerialOnTheSocialNetworkChain)
     expectSameRun(serial, par);
 }
 
-TEST(IntraRunParallel, FaultPlanFallsBackToSerial)
+TEST(IntraRunParallel, MatchesSerialOnTheFaultyGrid)
 {
+    // The PR-8 engine refused any fault plan; the domain-aware
+    // injector homes every state flip in the domain owning the
+    // touched state, so faulty runs now partition — and must stay
+    // bit-identical through the crash, the detection, the failover
+    // re-issues and the restart.
+    auto cfg = hdsearchCfg();
+    cfg.faultPlan = fault::FaultPlan::replicaKill(
+        "hds-bucket", 0, msec(4), msec(4), usec(500));
+    const core::RunResult serial = core::runOnce(cfg);
+    EXPECT_GT(serial.service.faultsInjected, 0u);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_GT(par.intraDomains, 1);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, MatchesSerialUnderACompoundFaultPlan)
+{
+    // Every injector path at once: a detected kill, a slowdown
+    // overlapping it on the sibling replica, and a stop-the-world
+    // pause on the mid tier — windows overlapping so the offline
+    // engage replay (not just single-window scheduling) is what has
+    // to agree with the serial engine.
+    auto cfg = hdsearchCfg();
+    fault::FaultPlan plan = fault::FaultPlan::replicaKill(
+        "hds-bucket", 0, msec(4), msec(3), usec(500));
+    plan.add(fault::FaultPlan::replicaSlowdown("hds-bucket", 1, 8.0,
+                                               msec(5), msec(3))
+                 .faults[0]);
+    plan.add(
+        fault::FaultPlan::pause("hds-midtier", 0, msec(6), msec(1))
+            .faults[0]);
+    cfg.faultPlan = plan;
+    const core::RunResult serial = core::runOnce(cfg);
+    EXPECT_GT(serial.service.pauseTime, 0);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_GT(par.intraDomains, 1);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, MatchesSerialUnderAStochasticFaultProcess)
+{
+    // mttf/mttr windows draw from the run seed during arm(): the
+    // materialised timeline must come out identical on either engine.
     auto cfg = hdsearchCfg();
     cfg.faultPlan =
-        fault::FaultPlan::replicaKill("hds-bucket", 0, msec(4), msec(4));
+        fault::FaultPlan::flaky("hds-bucket", 0, msec(4), msec(2));
     const core::RunResult serial = core::runOnce(cfg);
     cfg.intraThreads = 4;
     const core::RunResult par = core::runOnce(cfg);
-    // Injectors mutate cross-domain state from the harness, so the
-    // run must refuse to partition — and still be bit-identical.
-    EXPECT_EQ(par.intraDomains, 1);
+    EXPECT_GT(par.intraDomains, 1);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, MatchesSerialWithPeriodicServerTicks)
+{
+    // Non-tickless servers arm their tick loops at construction,
+    // before the partition exists; re-homing them into their
+    // machines' domains must keep every tick at its serial instant.
+    auto cfg = hdsearchCfg();
+    cfg.server.tickless = false;
+    const core::RunResult serial = core::runOnce(cfg);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_GT(par.intraDomains, 1);
+    expectSameRun(serial, par);
+}
+
+TEST(IntraRunParallel, MatchesSerialUnderACacheFlushFault)
+{
+    // The flush × cached-cluster compound: a mid-run wipe of every
+    // replica's caches turns into a burst of refill misses that must
+    // land identically on both engines.
+    auto cfg = core::ExperimentConfig::forMemcached(40000);
+    cfg.gen.warmup = msec(2);
+    cfg.gen.duration = msec(12);
+    svc::TopologyShape shape{4, 2, 0};
+    shape.cache.keys = 4096;
+    shape.cache.capacityEntries = 256;
+    core::applyTopology(cfg, shape);
+    cfg.faultPlan = fault::FaultPlan::cacheFlush("mc-cache", -1, msec(6));
+    const core::RunResult serial = core::runOnce(cfg);
+    EXPECT_GT(serial.service.cacheFlushes, 0u);
+    cfg.intraThreads = 4;
+    const core::RunResult par = core::runOnce(cfg);
+    EXPECT_GT(par.intraDomains, 1);
     expectSameRun(serial, par);
 }
 
@@ -185,6 +274,79 @@ TEST(IntraRunParallel, IntraThreadsOneKeepsTheSerialEngine)
     cfg.intraThreads = 1;
     const core::RunResult r = core::runOnce(cfg);
     EXPECT_EQ(r.intraDomains, 1);
+}
+
+/** Null client for driving ServiceGraph::planPartitions directly. */
+struct NullClient : net::Endpoint
+{
+    void onMessage(const net::Message &) override {}
+};
+
+/** (tier, replica) -> domain map of a freshly planned HDSearch rig. */
+std::vector<int>
+plannedDomains(int maxDomains)
+{
+    Simulator sim;
+    net::Link reply(sim, Rng(1), net::Link::Params{usec(5), 0.0, 10.0});
+    NullClient client;
+    // Three bucket replicas: the buckets are partitionable, so the
+    // natural plan is 4 groups (midtier + one per replica machine) —
+    // enough spread to exercise real packing at every bin count.
+    svc::HdSearchParams params;
+    params.replicas = 3;
+    svc::HdSearchCluster cluster(sim, hw::HwConfig::serverBaseline(),
+                                 reply, client, Rng(2), params);
+    svc::ServiceGraph &graph = cluster.graph();
+    const int domains = graph.planPartitions(1, maxDomains);
+    std::vector<int> map;
+    map.push_back(domains);
+    for (std::size_t t = 0; t < graph.tierCount(); ++t)
+        for (int r = 0; r < graph.tier(t).replicaCount(); ++r)
+            map.push_back(graph.tier(t).machine(r).simDomain());
+    return map;
+}
+
+TEST(IntraRunParallel, DomainPackingIsDeterministic)
+{
+    // Packing weights come from the config (tier worker counts), never
+    // from timing, so independently constructed identical clusters
+    // must plan identical (tier, replica) -> domain maps — unpacked
+    // and packed down to every bin count.
+    for (int maxDomains : {0, 7, 3, 2, 1})
+        EXPECT_EQ(plannedDomains(maxDomains), plannedDomains(maxDomains))
+            << "maxDomains=" << maxDomains;
+}
+
+TEST(IntraRunParallel, DomainPackingRespectsTheBinCount)
+{
+    const std::vector<int> unpacked = plannedDomains(0);
+    const int natural = unpacked.front();
+    ASSERT_GT(natural, 2);
+    for (int maxDomains = 1; maxDomains <= natural; ++maxDomains) {
+        const std::vector<int> packed = plannedDomains(maxDomains);
+        EXPECT_EQ(packed.front(), maxDomains);
+        for (std::size_t i = 1; i < packed.size(); ++i) {
+            EXPECT_GE(packed[i], 1);
+            EXPECT_LE(packed[i], maxDomains);
+        }
+    }
+}
+
+TEST(IntraRunParallel, PersistentCrewSpawnsNoNewThreadsAcrossABatch)
+{
+    // The crew pool parks workers between runs: a 100-run batch may
+    // grow the pool while it first ramps up, but must not spawn per
+    // run — the whole point of keeping the crew alive.
+    auto cfg = hdsearchCfg();
+    cfg.gen.duration = msec(3);
+    cfg.intraThreads = 4;
+    const core::RunResult first = core::runOnce(cfg);
+    ASSERT_GT(first.intraDomains, 1);
+    const std::size_t afterFirst = PartitionedEngine::crewThreadsSpawned();
+    for (int i = 0; i < 99; ++i)
+        core::runOnce(cfg);
+    const std::size_t afterBatch = PartitionedEngine::crewThreadsSpawned();
+    EXPECT_EQ(afterBatch, afterFirst);
 }
 
 /**
