@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "sim/logging.hh"
 
@@ -107,8 +108,36 @@ writeBenchJson(const std::string &bench,
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot write bench report '", path, "'");
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n",
-                 bench.c_str());
+    // Run metadata, so a report is comparable across commits and
+    // machines. Readers that only want the numbers index ["metrics"]
+    // and never see it.
+#ifndef TPV_GIT_SHA
+#define TPV_GIT_SHA "unknown"
+#endif
+#ifndef TPV_BUILD_TYPE
+#define TPV_BUILD_TYPE "unknown"
+#endif
+#if defined(__clang__)
+    const std::string compiler =
+        "clang-" + std::to_string(__clang_major__) + "." +
+        std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+    const std::string compiler =
+        "gcc-" + std::to_string(__GNUC__) + "." +
+        std::to_string(__GNUC_MINOR__);
+#else
+    const std::string compiler = "unknown";
+#endif
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"meta\": {\n"
+                 "    \"git_sha\": \"%s\",\n"
+                 "    \"compiler\": \"%s\",\n"
+                 "    \"build_type\": \"%s\",\n"
+                 "    \"hardware_concurrency\": %u\n  },\n"
+                 "  \"metrics\": [\n",
+                 bench.c_str(), TPV_GIT_SHA, compiler.c_str(),
+                 TPV_BUILD_TYPE,
+                 std::thread::hardware_concurrency());
     for (std::size_t i = 0; i < metrics.size(); ++i) {
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"value\": %.6g, "

@@ -314,7 +314,7 @@ crewBatchRunsPerSec(bool spawnPerRun, std::uint64_t *spawned)
 }
 
 double
-bigRunEventsPerSec(int intraThreads, int *domains)
+bigRunEventsPerSec(int intraThreads, int *domains, bool traced = false)
 {
     auto cfg = core::ExperimentConfig::forHdSearch(20000);
     core::applyTopology(cfg, svc::TopologyShape{32, 32, usec(300)});
@@ -323,6 +323,14 @@ bigRunEventsPerSec(int intraThreads, int *domains)
     cfg.gen.warmup = msec(5);
     cfg.gen.duration = msec(60);
     cfg.intraThreads = intraThreads;
+    if (traced) {
+        // The flight-recorder overhead configuration CI gates: head
+        // sampling at a production-ish 1/64, no tail ring (tailN > 0
+        // records every root and is priced separately).
+        cfg.obs.trace = true;
+        cfg.obs.sampleEveryN = 64;
+        cfg.obs.tailN = 0;
+    }
     std::uint64_t events = 0;
     const auto t0 = Clock::now();
     for (int i = 0; i < 2; ++i) {
@@ -352,9 +360,10 @@ main()
     std::uint64_t steadyRunAllocs = ~0ULL;
     const double runAllocs =
         hdsearchSteadyAllocsPerEvent(&steadyRunAllocs);
-    int domains1 = 0, domains8 = 0;
+    int domains1 = 0, domains8 = 0, domainsTr = 0;
     const double big1t = bigRunEventsPerSec(1, &domains1);
     const double big8t = bigRunEventsPerSec(8, &domains8);
+    const double bigTraced = bigRunEventsPerSec(1, &domainsTr, true);
     std::uint64_t crewSpawned = ~0ULL, churnSpawned = 0;
     const double crewBatch = crewBatchRunsPerSec(false, &crewSpawned);
     const double churnBatch = crewBatchRunsPerSec(true, &churnSpawned);
@@ -377,6 +386,8 @@ main()
     std::printf("  %-34s %10.2f Mev/s (%d domains, %d cores)\n",
                 "big run (34 machines), 8 threads", big8t / 1e6, domains8,
                 cores);
+    std::printf("  %-34s %10.2f Mev/s (1/64 sampled)\n",
+                "big run, 1 thread, traced", bigTraced / 1e6);
     std::printf("  %-34s %10.2f runs/s (%llu threads spawned)\n",
                 "100-run batch, persistent crew", crewBatch,
                 static_cast<unsigned long long>(crewSpawned));
@@ -397,6 +408,7 @@ main()
              "allocs/event"},
             {"big_run_events_per_sec_1t", big1t, "events/s"},
             {"big_run_events_per_sec_8t", big8t, "events/s"},
+            {"big_run_events_per_sec_traced", bigTraced, "events/s"},
             {"big_run_cores_available", static_cast<double>(cores),
              "cores"},
             {"crew_batch_runs_per_sec_persistent", crewBatch, "runs/s"},

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "loadgen/openloop.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "sim/partition.hh"
 #include "sim/simulator.hh"
@@ -301,11 +303,48 @@ runOnceImpl(const ExperimentConfig &cfg, int intraThreads)
         }
     }
 
+    // Flight recorder: built once the run's domain count is final, so
+    // the per-domain slabs line up with the engine the run executes
+    // on. The client links' wire spans are hooked here (the graph owns
+    // only its internal links); both fire in the sending domain.
+    std::unique_ptr<obs::TraceRecorder> trace;
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    if (cfg.obs.trace) {
+        trace = std::make_unique<obs::TraceRecorder>(
+            cfg.obs.traceConfig(), cfg.seed, intraDomains);
+        serviceGraph->setTrace(trace.get());
+        auto wireObs = [&sim, tr = trace.get()](const net::Message &m,
+                                                Time delay, bool) {
+            const std::uint64_t root =
+                m.parentId != 0 ? m.parentId : m.id;
+            if (!tr->wants(root))
+                return;
+            obs::SpanRecord rec;
+            rec.start = sim.now();
+            rec.end = rec.start + delay;
+            rec.rootId = root;
+            rec.arg = m.bytes;
+            rec.kind = obs::SpanKind::Wire;
+            int d = 0;
+            if (sim.partitioned())
+                d = std::max(0, sim.currentDomain());
+            tr->record(d, rec);
+        };
+        clientToServer.setObserver(wireObs);
+        serverToClient.setObserver(wireObs);
+    }
+
     gen.start();
     // Run the measured window, then drain in-flight requests without
     // accepting new samples (the recorder window is already closed).
     const Time drain = msec(50);
     const Time horizon = gen.windowEnd() + drain;
+
+    if (cfg.obs.metricsPeriod > 0) {
+        metrics = std::make_unique<obs::MetricsRegistry>();
+        serviceGraph->registerMetrics(*metrics);
+        metrics->arm(sim, cfg.obs.metricsPeriod, horizon);
+    }
 
     // Fault injection: armed only for a non-empty plan, so healthy
     // runs consume no extra randomness and stay bit-identical to
@@ -325,6 +364,12 @@ runOnceImpl(const ExperimentConfig &cfg, int intraThreads)
     // re-run reproduces exactly what intraThreads=1 would have seen.
     if (sim.partitionViolated())
         return runOnceImpl(cfg, 1);
+
+    // Export hook: fires once per completed run (the violated-run
+    // path above re-runs serially and exports from that run's own
+    // fresh recorders instead).
+    if (cfg.obs.sink)
+        cfg.obs.sink(trace.get(), metrics.get());
 
     RunResult out;
     out.latency = gen.recorder().latencySummary();

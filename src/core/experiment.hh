@@ -17,6 +17,7 @@
 #include "hw/machine.hh"
 #include "loadgen/params.hh"
 #include "net/link.hh"
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 #include "svc/hdsearch.hh"
 #include "svc/memcached.hh"
@@ -73,6 +74,14 @@ struct ExperimentConfig
      * reporting knob: no effect on the simulation itself.
      */
     Time sloLatency = 0;
+    /**
+     * Flight-recorder knobs: per-request span tracing and periodic
+     * timeline metrics, exported through obs.sink at the end of the
+     * run. Everything defaults off — an untouched ObsOptions records
+     * nothing, allocates nothing on the event path, and leaves the
+     * run bit-identical to pre-obs builds.
+     */
+    obs::ObsOptions obs;
     std::uint64_t seed = 1;
 
     /**

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "sim/rate_schedule.hh"
 
@@ -266,6 +267,25 @@ Injector::arm(Time horizon)
             if (clamped.start >= clamped.end)
                 continue;
             ++windowsArmed_;
+            if (obs::TraceRecorder *tr = graph_.trace()) {
+                // The window as a global marker (rootId 0), recorded
+                // offline into domain 0 — arm() runs before the crew
+                // exists, so no slab is shared with a live domain.
+                obs::SpanRecord rec;
+                rec.start = clamped.start;
+                rec.end = clamped.end;
+                rec.arg = static_cast<std::uint32_t>(spec.kind);
+                rec.kind = obs::SpanKind::Fault;
+                if (spec.kind == FaultKind::LinkDegrade) {
+                    rec.shard = static_cast<std::int16_t>(spec.link);
+                } else {
+                    rec.tier = static_cast<std::uint8_t>(
+                        targetTier(spec).tierIndex());
+                    rec.replica =
+                        static_cast<std::int16_t>(spec.replica);
+                }
+                tr->record(0, rec);
+            }
             sweep.push_back(SweepEntry{clamped.start, order++,
                                        SweepEntry::Begin, &spec});
             if (spec.kind == FaultKind::ReplicaCrash) {

@@ -91,10 +91,14 @@ Link::send(Message msg, Endpoint &dst)
             ++messagesDropped_;
             if (degradeLostCounter_ != nullptr)
                 ++*degradeLostCounter_;
+            if (observer_)
+                observer_(msg, delay, true);
             return;
         }
         delay += degradeLatency_;
     }
+    if (observer_)
+        observer_(msg, delay, false);
     totalDelay_ += delay;
     if (sim_.partitioned()) {
         const int src = sim_.currentDomain();

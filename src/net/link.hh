@@ -9,6 +9,7 @@
 #define TPV_NET_LINK_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "net/message.hh"
 #include "sim/fixed_containers.hh"
@@ -90,6 +91,18 @@ class Link
     /** Messages dropped by an injected loss fault. */
     std::uint64_t messagesDropped() const { return messagesDropped_; }
 
+    /**
+     * Observer of every send: (message, sampled one-way delay,
+     * dropped-by-fault). Called from the sender's domain before the
+     * delivery is scheduled or staged — the flight recorder's wire
+     * spans. Null (the default) costs one branch per send; install
+     * only from run setup, never mid-run.
+     */
+    using SendObserver =
+        std::function<void(const Message &, Time, bool)>;
+
+    void setObserver(SendObserver obs) { observer_ = std::move(obs); }
+
   private:
     /** Deliver in-flight message @p idx to @p dst and free its slot. */
     void deliver(std::uint32_t idx, Endpoint *dst);
@@ -120,6 +133,7 @@ class Link
     double degradeLoss_ = 0.0;
     std::uint64_t *degradeLostCounter_ = nullptr;
     std::uint64_t messagesDropped_ = 0;
+    SendObserver observer_;
 };
 
 } // namespace net

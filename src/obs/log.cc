@@ -1,0 +1,83 @@
+#include "obs/log.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+namespace tpv {
+namespace obs {
+
+namespace {
+
+std::atomic<int> level_{static_cast<int>(LogLevel::Info)};
+
+/** Custom sink; guarded by the convention that setLogSink() is called
+ *  from setup code, not from concurrently-logging run threads. */
+std::function<void(LogLevel, const std::string &)> sink_;
+
+void
+stderrSink(LogLevel level, const std::string &msg)
+{
+    const char *tag = level == LogLevel::Warn ? "warn" : "info";
+    if (level == LogLevel::Debug)
+        tag = "debug";
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent:
+        return "silent";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           level_.load(std::memory_order_relaxed);
+}
+
+void
+setLogSink(std::function<void(LogLevel, const std::string &)> sink)
+{
+    sink_ = std::move(sink);
+}
+
+void
+logWrite(LogLevel level, const std::string &msg)
+{
+    if (!logEnabled(level))
+        return;
+    if (sink_) {
+        sink_(level, msg);
+        return;
+    }
+    stderrSink(level, msg);
+}
+
+} // namespace obs
+} // namespace tpv

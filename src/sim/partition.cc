@@ -1,6 +1,7 @@
 #include "sim/partition.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -147,7 +148,8 @@ PartitionedEngine::crewThreadsSpawned()
 PartitionedEngine::PartitionedEngine(int domains, Time lookahead,
                                      int threads)
     : domains_(static_cast<std::size_t>(domains)), lookahead_(lookahead),
-      threads_(threads), barrier_(static_cast<std::uint32_t>(threads))
+      threads_(threads), barrier_(static_cast<std::uint32_t>(threads)),
+      stall_(static_cast<std::size_t>(threads))
 {
     TPV_ASSERT(domains >= 2, "partitioning needs >= 2 domains");
     TPV_ASSERT(domains < (1 << kDomainBits),
@@ -353,6 +355,22 @@ PartitionedEngine::runDomains(int self)
 }
 
 void
+PartitionedEngine::barrierWait(int self)
+{
+    if (!trackStall_) {
+        barrier_.arriveAndWait();
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    barrier_.arriveAndWait();
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    stall_[static_cast<std::size_t>(self)].ns +=
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count());
+}
+
+void
 PartitionedEngine::crewLoop(int self)
 {
     tlsCrew.engine = this;
@@ -362,13 +380,13 @@ PartitionedEngine::crewLoop(int self)
             mergeAndPrepare();
         // Release barrier: the leader published wend_/done_ (and all
         // merged deliveries) to the crew.
-        barrier_.arriveAndWait();
+        barrierWait(self);
         if (done_)
             break;
         runDomains(self);
         // Window barrier: every domain finished [*, wend_); outboxes
         // are quiescent for the leader's next merge.
-        barrier_.arriveAndWait();
+        barrierWait(self);
     }
     tlsCrew.engine = nullptr;
 }

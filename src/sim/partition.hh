@@ -212,6 +212,26 @@ class PartitionedEngine
 
     Time lookahead() const { return lookahead_; }
 
+    /**
+     * Enable wall-clock accounting of the time crew threads spend
+     * waiting at window barriers (the obs metrics layer samples it).
+     * Off by default: untracked runs pay nothing for the counters.
+     */
+    void setStallTracking(bool enable) { trackStall_ = enable; }
+
+    /**
+     * Cumulative barrier-stall nanoseconds of the crew thread owning
+     * @p domain (domains map to members round-robin, so domains
+     * sharing a thread share a counter). Real time, not simulated —
+     * diagnostics only, and only written by the owning thread, so a
+     * domain's own tick may read it race-free.
+     */
+    std::uint64_t
+    barrierStallNs(int domain) const
+    {
+        return stall_[static_cast<std::size_t>(domain % threads_)].ns;
+    }
+
   private:
     /** A staged cross-domain delivery (sender outbox entry). */
     struct Staged
@@ -244,8 +264,19 @@ class PartitionedEngine
         SlotPool<net::Message> arrivals;
     };
 
+    /** Per-crew-member stall counter, padded against false sharing
+     *  (each member writes only its own). */
+    struct alignas(64) StallCounter
+    {
+        std::uint64_t ns = 0;
+    };
+
     /** Next sequence key for an event scheduled now by domain @p d. */
     std::uint64_t makeSeq(Domain &d, int index);
+
+    /** Barrier rendezvous for crew member @p self, accruing its
+     *  stall counter when tracking is on. */
+    void barrierWait(int self);
 
     /** Run one crew member: alternate merge barriers and windows. */
     void crewLoop(int self);
@@ -268,6 +299,8 @@ class PartitionedEngine
     Time wend_ = 0;
     bool done_ = false;
     std::atomic<bool> violated_{false};
+    bool trackStall_ = false;
+    std::vector<StallCounter> stall_;
 };
 
 } // namespace tpv

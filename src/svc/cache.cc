@@ -219,6 +219,8 @@ CacheModel::evictOne()
     TPV_ASSERT(victim >= 0, "eviction from an empty cache");
     removeSlot(victim);
     ++evictions_;
+    if (observer_)
+        observer_(false);
 }
 
 CacheModel::Result
@@ -280,6 +282,8 @@ CacheModel::flush()
     head_[0] = head_[1] = tail_[0] = tail_[1] = -1;
     segSize_[0] = segSize_[1] = 0;
     bytesUsed_ = 0;
+    if (observer_)
+        observer_(true);
 }
 
 } // namespace svc

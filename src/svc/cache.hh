@@ -17,6 +17,7 @@
 #define TPV_SVC_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -140,6 +141,16 @@ class CacheModel
      */
     void flush();
 
+    /**
+     * Observe capacity events: called with false per eviction, true
+     * per flush — the flight recorder's cache_evict markers. Null by
+     * default (one branch per eviction, nothing on the hit path);
+     * install from run setup in the domain that owns the cache.
+     */
+    using Observer = std::function<void(bool flushed)>;
+
+    void setObserver(Observer obs) { observer_ = std::move(obs); }
+
   private:
     struct Entry
     {
@@ -180,6 +191,7 @@ class CacheModel
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    Observer observer_;
 };
 
 } // namespace svc

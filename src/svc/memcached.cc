@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace tpv {
@@ -53,6 +55,33 @@ etcResponseBytes(const MemcachedParams &p, const net::Message &req,
     if (static_cast<MemcachedOp>(req.kind) == MemcachedOp::Get)
         return p.responseOverhead + valueBytes;
     return p.responseOverhead; // SET: status only
+}
+
+/**
+ * Cache-event instant span (hit/miss/fill). The cache tier sits one
+ * fan-out below the entry tier, so the sub-request's parentId IS the
+ * root id; all three call sites run in the cache machine's domain
+ * (workMut during dispatch, the store fan-out's completion).
+ */
+void
+traceCacheEvent(ServiceGraph &g, int tier, const net::Message &msg,
+                obs::SpanKind kind, std::uint32_t arg)
+{
+    obs::TraceRecorder *tr = g.trace();
+    if (tr == nullptr)
+        return;
+    const std::uint64_t root = msg.parentId != 0 ? msg.parentId : msg.id;
+    if (!tr->wants(root))
+        return;
+    obs::SpanRecord rec;
+    rec.start = rec.end = g.sim().now();
+    rec.rootId = root;
+    rec.arg = arg;
+    rec.kind = kind;
+    rec.tier = static_cast<std::uint8_t>(tier);
+    rec.shard = static_cast<std::int16_t>(msg.shard);
+    rec.replica = static_cast<std::int16_t>(msg.replica);
+    tr->record(g.traceDomain(), rec);
 }
 
 } // namespace
@@ -160,10 +189,15 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
                     work += static_cast<Time>(
                         p.nsPerValueByte *
                         static_cast<double>(res.valueBytes));
+                    traceCacheEvent(graph_, cache_->tierIndex(), req,
+                                    obs::SpanKind::CacheHit,
+                                    res.valueBytes);
                 } else {
                     ++s.cacheMisses;
                     ++tb.cacheMisses;
                     req.kind |= kMissFlag;
+                    traceCacheEvent(graph_, cache_->tierIndex(), req,
+                                    obs::SpanKind::CacheMiss, req.key);
                 }
             } else {
                 const std::uint32_t v = p.etc.valueBytesForKey(req.key);
@@ -267,6 +301,8 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
                 ++s.cacheFills;
                 s.cacheEvictions += cacheFor(m).put(m.key, v);
                 m.bytes = v;
+                traceCacheEvent(graph_, cache_->tierIndex(), m,
+                                obs::SpanKind::CacheFill, v);
                 fanout_->replyFromChild(
                     m, static_cast<Time>(m.serviceWork));
             });
@@ -291,6 +327,7 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
         // the rng fork sequence) deterministic.
         caches_.reserve(static_cast<std::size_t>(params_.replicas) *
                         static_cast<std::size_t>(params_.shards));
+        const int cacheTier = cache_->tierIndex();
         for (int r = 0; r < params_.replicas; ++r) {
             for (int s = 0; s < params_.shards; ++s) {
                 caches_.emplace_back(params_.cache,
@@ -298,6 +335,26 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
                 if (!params_.cache.coldStart)
                     prewarm(caches_.back(), s);
                 caches_.back().resetCounters();
+                // Capacity churn as global markers (rootId 0): which
+                // replica/shard evicted or was flushed, not which
+                // request triggered it. Evictions run in the cache
+                // machine's domain (workMut / store completion);
+                // flushes in the fault action's, which targets the
+                // same replica.
+                caches_.back().setObserver(
+                    [this, cacheTier, r, s](bool flushed) {
+                        obs::TraceRecorder *tr = graph_.trace();
+                        if (tr == nullptr)
+                            return;
+                        obs::SpanRecord rec;
+                        rec.start = rec.end = graph_.sim().now();
+                        rec.arg = flushed ? 1u : 0u;
+                        rec.kind = obs::SpanKind::CacheEvict;
+                        rec.tier = static_cast<std::uint8_t>(cacheTier);
+                        rec.shard = static_cast<std::int16_t>(s);
+                        rec.replica = static_cast<std::int16_t>(r);
+                        tr->record(graph_.traceDomain(), rec);
+                    });
             }
         }
 
@@ -309,6 +366,28 @@ MemcachedCluster::MemcachedCluster(Simulator &sim,
                 return;
             for (int s = 0; s < params_.shards; ++s)
                 cacheModel(replica, s).flush();
+        });
+
+        // Per-replica cache hit rate on the metrics timeline: summed
+        // over the shards the replica owns, homed in its domain.
+        graph_.onRegisterMetrics([this](obs::MetricsRegistry &m) {
+            for (int r = 0; r < params_.replicas; ++r) {
+                m.add("cache_hitrate.r" + std::to_string(r),
+                      cache_->machine(r).simDomain(), [this, r]() {
+                          std::uint64_t hit = 0;
+                          std::uint64_t miss = 0;
+                          for (int s = 0; s < params_.shards; ++s) {
+                              CacheModel &c = cacheModel(r, s);
+                              hit += c.hits();
+                              miss += c.misses();
+                          }
+                          const std::uint64_t total = hit + miss;
+                          if (total == 0)
+                              return 0.0;
+                          return static_cast<double>(hit) /
+                                 static_cast<double>(total);
+                      });
+            }
         });
     }
 }

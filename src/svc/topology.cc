@@ -4,12 +4,26 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace tpv {
 namespace svc {
 
 namespace {
+
+/**
+ * Root request id a message carries on the entry tier and on direct
+ * fan-out children (sub-requests stamp the parent's id into parentId,
+ * which *is* the root one fan-out down). Deeper tiers see slot ids
+ * here — their hooks are depth-gated off (see setTrace).
+ */
+std::uint64_t
+localRoot(const net::Message &m)
+{
+    return m.parentId != 0 ? m.parentId : m.id;
+}
 
 /** Generic endpoint adapter: forwards delivered messages to a bound
  *  function. Replaces the per-service Port/Merge adapter structs.
@@ -247,6 +261,26 @@ Tier::noteLost(const net::Message &msg)
     countLost();
 }
 
+void
+Tier::traceShed(const net::Message &msg, std::uint32_t reason)
+{
+    obs::TraceRecorder *tr = graph_.trace();
+    if (tr == nullptr || !traceLocal_)
+        return;
+    const std::uint64_t root = localRoot(msg);
+    if (!tr->wants(root))
+        return;
+    obs::SpanRecord s;
+    s.start = s.end = graph_.sim().now();
+    s.rootId = root;
+    s.arg = reason;
+    s.kind = obs::SpanKind::Shed;
+    s.tier = static_cast<std::uint8_t>(tierIndex_);
+    s.shard = static_cast<std::int16_t>(msg.shard);
+    s.replica = static_cast<std::int16_t>(msg.replica);
+    tr->record(graph_.traceDomain(), s);
+}
+
 bool
 Tier::shouldShed(Instance &inst, const net::Message &msg)
 {
@@ -261,6 +295,7 @@ Tier::shouldShed(Instance &inst, const net::Message &msg)
         now > msg.appSendTime + static_cast<Time>(msg.deadlineNs)) {
         ++stats.requestsShedDelay;
         ++tb.requestsShed;
+        traceShed(msg, 0);
         return true;
     }
     if (adm.maxQueueDepth > 0 &&
@@ -268,6 +303,7 @@ Tier::shouldShed(Instance &inst, const net::Message &msg)
             static_cast<std::size_t>(adm.maxQueueDepth)) {
         ++stats.requestsShedDepth;
         ++tb.requestsShed;
+        traceShed(msg, 1);
         return true;
     }
     if (adm.codelTarget > 0) {
@@ -333,6 +369,7 @@ Tier::shouldShed(Instance &inst, const net::Message &msg)
             if (sibling) {
                 ++stats.requestsShedDelay;
                 ++tb.requestsShed;
+                traceShed(msg, 2);
                 return true;
             }
             if (now < inst.codelNextDrop) {
@@ -370,6 +407,7 @@ Tier::shouldShed(Instance &inst, const net::Message &msg)
                                inst.codelDropRing.size();
         ++stats.requestsShedDelay;
         ++tb.requestsShed;
+        traceShed(msg, 2);
         return true;
     }
     return false;
@@ -424,6 +462,25 @@ Tier::dispatch(const net::Message &msgIn)
     if (inst.slowFactor != 1.0) {
         work = static_cast<Time>(inst.slowFactor *
                                  static_cast<double>(work));
+    }
+    // Flight recorder: open the dispatch->completion span (split into
+    // queue-wait + service at close). Keyed on the post-workMut
+    // message so completeService — which sees the same transformed
+    // message — closes the exact begin. Tied twins differ in replica,
+    // so their keys never collide; a twin cancelled before running
+    // leaves a dangling open that export simply drops.
+    if (obs::TraceRecorder *tr = graph_.trace();
+        tr != nullptr && traceLocal_) {
+        const std::uint64_t root = localRoot(msg);
+        if (tr->wants(root)) {
+            tr->begin(graph_.traceDomain(),
+                      obs::TraceRecorder::OpenKey{
+                          msg.id, msg.parentId, obs::SpanKind::Service,
+                          static_cast<std::uint8_t>(tierIndex_),
+                          static_cast<std::int16_t>(msg.shard),
+                          static_cast<std::int16_t>(msg.replica)},
+                      graph_.sim().now(), root, 0);
+        }
     }
     ServiceStats &stats = graph_.mutableStats();
     if (msg.tied && tieArbiter_) {
@@ -495,6 +552,44 @@ Tier::completeService(const net::Message &msg, Time work)
             inst.aboveTargetSince = kTimeNever;
         } else if (inst.aboveTargetSince == kTimeNever) {
             inst.aboveTargetSince = graph_.sim().now();
+        }
+    }
+    // Flight recorder: close the dispatch->completion span into a
+    // queue-wait span and a service span. The service start is
+    // derived as completion minus the nominal work (txWork and any
+    // worker preemption land in the queue-wait part — documented
+    // approximation), clamped so a zero-queue dispatch never yields
+    // a negative wait.
+    if (obs::TraceRecorder *tr = graph_.trace();
+        tr != nullptr && traceLocal_) {
+        Time start = 0;
+        std::uint64_t root = 0;
+        std::uint32_t arg = 0;
+        const obs::TraceRecorder::OpenKey key{
+            msg.id, msg.parentId, obs::SpanKind::Service,
+            static_cast<std::uint8_t>(tierIndex_),
+            static_cast<std::int16_t>(msg.shard),
+            static_cast<std::int16_t>(msg.replica)};
+        const int d = graph_.traceDomain();
+        if (tr->end(d, key, &start, &root, &arg)) {
+            const Time now = graph_.sim().now();
+            const Time svcStart = std::max(start, now - work);
+            obs::SpanRecord s;
+            s.rootId = root;
+            s.tier = static_cast<std::uint8_t>(tierIndex_);
+            s.shard = static_cast<std::int16_t>(msg.shard);
+            s.replica = static_cast<std::int16_t>(msg.replica);
+            s.start = start;
+            s.end = svcStart;
+            s.kind = obs::SpanKind::QueueWait;
+            s.arg = 0;
+            tr->record(d, s);
+            s.start = svcStart;
+            s.end = now;
+            s.kind = obs::SpanKind::Service;
+            s.arg = static_cast<std::uint32_t>(
+                std::min<Time>(work, UINT32_MAX));
+            tr->record(d, s);
         }
     }
     if (handler_)
@@ -718,7 +813,7 @@ Fanout::lookup(std::uint32_t slot, std::uint64_t parentId)
 }
 
 int
-Fanout::routeLive(std::uint64_t id, int shard)
+Fanout::routeLive(std::uint64_t id, int shard, std::uint64_t traceRoot)
 {
     const int primary = primaryFor(id, shard);
     if (child_.replicaTrusted(primary)) {
@@ -732,6 +827,18 @@ Fanout::routeLive(std::uint64_t id, int shard)
             const int r = (primary + i) % params_.replicas;
             if (child_.replicaTrusted(r) && breakerAllows(r)) {
                 ++graph_.mutableStats().breakerSkips;
+                if (traceRoot != 0) {
+                    obs::SpanRecord s;
+                    s.start = s.end = graph_.sim().now();
+                    s.rootId = traceRoot;
+                    s.arg = static_cast<std::uint32_t>(r);
+                    s.kind = obs::SpanKind::BreakerSkip;
+                    s.tier = static_cast<std::uint8_t>(
+                        child_.tierIndex());
+                    s.shard = static_cast<std::int16_t>(shard);
+                    s.replica = static_cast<std::int16_t>(primary);
+                    graph_.trace()->record(graph_.traceDomain(), s);
+                }
                 return r;
             }
         }
@@ -776,6 +883,7 @@ Fanout::scatter(const net::Message &req)
     RpcContext &call = pool_.at(slot);
     const auto lanes = static_cast<std::size_t>(laneCount());
     call.request = req;
+    call.rootId = localRoot(req);
     call.active = true;
     call.remaining = static_cast<int>(lanes);
     call.done.assign(lanes, 0);
@@ -800,10 +908,18 @@ Fanout::scatter(const net::Message &req)
         call.routedShard = static_cast<std::uint16_t>(routed);
     }
 
+    // Flight recorder: trace this call when the edge is depth-gated
+    // on (traceSubs_) and the root is wanted. The sub-request span
+    // opens here (the scatter instant) and closes on the first
+    // accepted reply in onReply — both on the parent's domain.
+    obs::TraceRecorder *tr = traceSubs_ ? graph_.trace() : nullptr;
+    const std::uint64_t traceRoot =
+        tr != nullptr && tr->wants(call.rootId) ? call.rootId : 0;
+
     const Time hedgeDelay = timedHedging() ? currentHedgeDelay() : 0;
     for (std::size_t lane = 0; lane < lanes; ++lane) {
         const int shard = laneToShard(call, static_cast<int>(lane));
-        const int replica = routeLive(req.id, shard);
+        const int replica = routeLive(req.id, shard, traceRoot);
         if (replica < 0) {
             // Every replica is down: nothing was sent, the request
             // is lost. Close the lane so a later crash notification
@@ -814,6 +930,14 @@ Fanout::scatter(const net::Message &req)
             continue;
         }
         call.replicaOf[lane] = static_cast<std::uint8_t>(replica);
+        if (traceRoot != 0) {
+            tr->begin(graph_.traceDomain(),
+                      obs::TraceRecorder::OpenKey{
+                          slot, req.id, obs::SpanKind::SubRequest,
+                          static_cast<std::uint8_t>(child_.tierIndex()),
+                          static_cast<std::int16_t>(shard), -1},
+                      graph_.sim().now(), traceRoot, 0);
+        }
         ++graph_.mutableStats().subRequestsSent;
         const bool tiedCopies = policy_ == HedgePolicy::Tied;
         toChild_.send(makeSub(req, slot, shard, replica, tiedCopies),
@@ -861,6 +985,17 @@ Fanout::fireHedge(std::uint32_t slot, std::uint64_t parentId, int shard)
         return;
     }
     ++graph_.mutableStats().hedgesSent;
+    if (obs::TraceRecorder *tr = traceSubs_ ? graph_.trace() : nullptr;
+        tr != nullptr && tr->wants(call->rootId)) {
+        obs::SpanRecord s;
+        s.start = s.end = graph_.sim().now();
+        s.rootId = call->rootId;
+        s.kind = obs::SpanKind::Hedge;
+        s.tier = static_cast<std::uint8_t>(child_.tierIndex());
+        s.shard = static_cast<std::int16_t>(shard);
+        s.replica = static_cast<std::int16_t>(replica);
+        tr->record(graph_.traceDomain(), s);
+    }
     toChild_.send(makeSub(call->request, slot, shard, replica, false),
                   child_);
 }
@@ -919,6 +1054,18 @@ Fanout::fireRetry(std::uint32_t slot, std::uint64_t parentId, int shard)
     call->dropped[lane] = 0;
     call->replicaOf[lane] = static_cast<std::uint8_t>(target);
     ++stats.requestsRetried;
+    if (obs::TraceRecorder *tr = traceSubs_ ? graph_.trace() : nullptr;
+        tr != nullptr && tr->wants(call->rootId)) {
+        obs::SpanRecord s;
+        s.start = s.end = graph_.sim().now();
+        s.rootId = call->rootId;
+        s.arg = call->attempts[lane];
+        s.kind = obs::SpanKind::Retry;
+        s.tier = static_cast<std::uint8_t>(child_.tierIndex());
+        s.shard = static_cast<std::int16_t>(shard);
+        s.replica = static_cast<std::int16_t>(target);
+        tr->record(graph_.traceDomain(), s);
+    }
     // A retry racing its own original can produce a duplicate reply:
     // reissues_ legalises it for the duplicate-discard assertion.
     ++reissues_;
@@ -1115,6 +1262,34 @@ Fanout::onReply(const net::Message &reply)
                            graph_.sim().now() - reply.appSendTime);
     }
 
+    // Flight recorder: the winning reply closes the lane's
+    // sub-request span (opened at scatter, on this same parent
+    // domain). The span records which replica actually won — hedges
+    // and retries may have moved the lane — and the reply's size.
+    if (obs::TraceRecorder *tr = traceSubs_ ? graph_.trace() : nullptr;
+        tr != nullptr) {
+        Time start = 0;
+        std::uint64_t root = 0;
+        std::uint32_t arg = 0;
+        const obs::TraceRecorder::OpenKey key{
+            slot, reply.parentId, obs::SpanKind::SubRequest,
+            static_cast<std::uint8_t>(child_.tierIndex()),
+            static_cast<std::int16_t>(reply.shard), -1};
+        const int d = graph_.traceDomain();
+        if (tr->end(d, key, &start, &root, &arg)) {
+            obs::SpanRecord s;
+            s.start = start;
+            s.end = graph_.sim().now();
+            s.rootId = root;
+            s.arg = reply.bytes;
+            s.kind = obs::SpanKind::SubRequest;
+            s.tier = static_cast<std::uint8_t>(child_.tierIndex());
+            s.shard = static_cast<std::int16_t>(reply.shard);
+            s.replica = static_cast<std::int16_t>(reply.replica);
+            tr->record(d, s);
+        }
+    }
+
     // The parent message handed to the completion carries the last
     // accepted reply's wire size, so single-lane (route-one)
     // completions can echo the shard reply's size to the client
@@ -1147,6 +1322,108 @@ Fanout::finish(const net::Message &req)
     graph_.mutableStats().serviceWorkDispatched += params_.postWork;
     parent_.pool().serviceThread(req.conn).submit(
         params_.postWork, [this, req] { onComplete_(req); });
+}
+
+void
+Fanout::installTrace(int parentDepth)
+{
+    const auto childTier = static_cast<std::uint8_t>(child_.tierIndex());
+    // Breaker transitions are run-level markers (rootId 0, always
+    // exported) and need no root resolution: install at any depth.
+    // The observer runs wherever the breaker is driven — always the
+    // parent's domain (scatter, retry timers, merge replies).
+    for (std::size_t r = 0; r < breakers_.size(); ++r) {
+        breakers_[r].setObserver(
+            [this, childTier, r](CircuitBreaker::State st) {
+                obs::TraceRecorder *tr = graph_.trace();
+                if (tr == nullptr)
+                    return;
+                obs::SpanRecord s;
+                s.start = s.end = graph_.sim().now();
+                s.arg = static_cast<std::uint32_t>(st);
+                s.kind = obs::SpanKind::BreakerOpen;
+                s.tier = childTier;
+                s.replica = static_cast<std::int16_t>(r);
+                tr->record(graph_.traceDomain(), s);
+            });
+    }
+    // Sub-request/hedge/retry spans and wire spans need the root id.
+    // Down-link sends resolve it through this fan-out's context pool
+    // — the observer runs in the sender's domain, which is the
+    // parent's, where the pool lives — so parent depth <= 1 (the
+    // parent's own messages carry the root) is the gate.
+    traceSubs_ = parentDepth <= 1;
+    if (!traceSubs_)
+        return;
+    toChild_.setObserver([this, childTier](const net::Message &m,
+                                           Time delay, bool) {
+        obs::TraceRecorder *tr = graph_.trace();
+        if (tr == nullptr)
+            return;
+        const RpcContext *c =
+            lookup(static_cast<std::uint32_t>(m.id), m.parentId);
+        const std::uint64_t root =
+            c != nullptr ? c->rootId : localRoot(m);
+        if (!tr->wants(root))
+            return;
+        obs::SpanRecord s;
+        s.start = graph_.sim().now();
+        s.end = s.start + delay;
+        s.rootId = root;
+        s.arg = m.bytes;
+        s.kind = obs::SpanKind::Wire;
+        s.tier = childTier;
+        s.shard = static_cast<std::int16_t>(m.shard);
+        s.replica = static_cast<std::int16_t>(m.replica);
+        tr->record(graph_.traceDomain(), s);
+    });
+    // Up-link replies echo the sub-request (parentId = the parent's
+    // request id), which is the root only when the parent is the
+    // entry tier; the sender is a child replica's domain, where the
+    // context pool must not be read — so depth 0 edges only.
+    if (parentDepth == 0) {
+        const auto parentTier =
+            static_cast<std::uint8_t>(parent_.tierIndex());
+        for (net::Link *l : toParent_) {
+            l->setObserver([this, parentTier](const net::Message &m,
+                                              Time delay, bool) {
+                obs::TraceRecorder *tr = graph_.trace();
+                if (tr == nullptr)
+                    return;
+                const std::uint64_t root = localRoot(m);
+                if (!tr->wants(root))
+                    return;
+                obs::SpanRecord s;
+                s.start = graph_.sim().now();
+                s.end = s.start + delay;
+                s.rootId = root;
+                s.arg = m.bytes;
+                s.kind = obs::SpanKind::Wire;
+                s.tier = parentTier;
+                s.shard = static_cast<std::int16_t>(m.shard);
+                s.replica = static_cast<std::int16_t>(m.replica);
+                tr->record(graph_.traceDomain(), s);
+            });
+        }
+    }
+}
+
+void
+Fanout::registerMetrics(obs::MetricsRegistry &m)
+{
+    const int home = parent_.machine(0).simDomain();
+    const Fanout *self = this;
+    m.add("inflight." + child_.params().name, home,
+          [self] { return static_cast<double>(self->inFlight()); });
+    for (std::size_t r = 0; r < breakers_.size(); ++r) {
+        const CircuitBreaker *br = &breakers_[r];
+        m.add("breaker." + child_.params().name + ".r" +
+                  std::to_string(r + 1),
+              home, [br] {
+                  return static_cast<double>(
+                      static_cast<int>(br->state()));
+              });
+    }
 }
 
 ServiceGraph::ServiceGraph(Simulator &sim, net::Link &replyLink,
@@ -1284,6 +1561,14 @@ ServiceGraph::onMessage(const net::Message &req)
 {
     TPV_ASSERT(entry_ != nullptr, "service graph has no entry tier");
     ++mutableStats().requestsReceived;
+    // Flight recorder: the root span opens at service arrival and
+    // closes in respond() — both on the entry tier's domain.
+    if (trace_ != nullptr && trace_->wants(req.id)) {
+        trace_->begin(traceDomain(),
+                      obs::TraceRecorder::OpenKey{
+                          req.id, 0, obs::SpanKind::Root, 0xff, -1, -1},
+                      sim_.now(), req.id, req.bytes);
+    }
     entry_->onMessage(req);
 }
 
@@ -1292,6 +1577,23 @@ ServiceGraph::respond(net::Message resp)
 {
     resp.serverDoneTime = sim_.now();
     ++mutableStats().responsesSent;
+    if (trace_ != nullptr) {
+        Time start = 0;
+        std::uint64_t root = 0;
+        std::uint32_t arg = 0;
+        const obs::TraceRecorder::OpenKey key{
+            resp.id, 0, obs::SpanKind::Root, 0xff, -1, -1};
+        const int d = traceDomain();
+        if (trace_->end(d, key, &start, &root, &arg)) {
+            obs::SpanRecord s;
+            s.start = start;
+            s.end = sim_.now();
+            s.rootId = root;
+            s.arg = resp.bytes;
+            s.kind = obs::SpanKind::Root;
+            trace_->record(d, s);
+        }
+    }
     replyLink_.send(resp, client_);
 }
 
@@ -1591,6 +1893,87 @@ ServiceGraph::flushCaches(Tier &tier, int replica)
     ++mutableStats().cacheFlushes;
     if (cacheFlushHook_)
         cacheFlushHook_(tier, replica);
+}
+
+void
+ServiceGraph::setTrace(obs::TraceRecorder *recorder)
+{
+    trace_ = recorder;
+    if (recorder == nullptr)
+        return;
+    // Fan-out depth below the entry tier: 0 = entry, 1 = a direct
+    // fan-out child. Messages on depth <= 1 tiers carry the root
+    // request id in (parentId ? parentId : id); deeper tiers carry a
+    // fan-out slot id there, and resolving it would mean reading
+    // another domain's context pool — so their per-dispatch hooks
+    // stay off (depth-gated), keeping partitioned tracing race-free
+    // and byte-identical to serial.
+    constexpr int kUnknown = 1 << 20;
+    std::vector<int> depth(tiers_.size(), kUnknown);
+    if (entry_ != nullptr)
+        depth[static_cast<std::size_t>(entry_->tierIndex())] = 0;
+    for (std::size_t pass = 0; pass <= fanouts_.size(); ++pass) {
+        for (auto &f : fanouts_) {
+            const int pd =
+                depth[static_cast<std::size_t>(f->parent().tierIndex())];
+            int &cd =
+                depth[static_cast<std::size_t>(f->child().tierIndex())];
+            if (pd != kUnknown)
+                cd = std::min(cd, pd + 1);
+        }
+    }
+    for (auto &t : tiers_)
+        t->traceLocal_ =
+            depth[static_cast<std::size_t>(t->tierIndex())] <= 1;
+    for (auto &f : fanouts_)
+        f->installTrace(
+            depth[static_cast<std::size_t>(f->parent().tierIndex())]);
+}
+
+void
+ServiceGraph::onRegisterMetrics(
+    std::function<void(obs::MetricsRegistry &)> fn)
+{
+    metricRegistrars_.push_back(std::move(fn));
+}
+
+void
+ServiceGraph::registerMetrics(obs::MetricsRegistry &m)
+{
+    // Per-replica worker-queue depth, homed where the queues live.
+    for (auto &t : tiers_) {
+        for (int r = 0; r < t->replicaCount(); ++r) {
+            std::string name = "qdepth." + t->params().name;
+            if (t->replicaCount() > 1)
+                name += ".r" + std::to_string(r + 1);
+            WorkerPool *pool = &t->pool(r);
+            m.add(std::move(name), t->machine(r).simDomain(), [pool] {
+                return static_cast<double>(pool->queuedTotal());
+            });
+        }
+    }
+    // Per-edge in-flight calls and breaker states (parent domains).
+    for (auto &f : fanouts_)
+        f->registerMetrics(m);
+    // Cumulative dispatched service work per counter shard — the
+    // utilisation numerator; differentiate adjacent rows for a rate.
+    if (statShards_.empty()) {
+        const ServiceStats *st = &stats_;
+        m.add("work_ns", 0, [st] {
+            return static_cast<double>(st->serviceWorkDispatched);
+        });
+    } else {
+        for (std::size_t d = 0; d < statShards_.size(); ++d) {
+            const ServiceStats *st = &statShards_[d];
+            m.add("work_ns.d" + std::to_string(d),
+                  static_cast<int>(d), [st] {
+                      return static_cast<double>(
+                          st->serviceWorkDispatched);
+                  });
+        }
+    }
+    for (auto &fn : metricRegistrars_)
+        fn(m);
 }
 
 } // namespace svc

@@ -48,6 +48,12 @@
 #include "svc/worker_pool.hh"
 
 namespace tpv {
+
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+} // namespace obs
+
 namespace svc {
 
 /** Per-tier slice of the service counters (one entry per tier of a
@@ -505,6 +511,10 @@ class Tier : public net::Endpoint
      *  draw so a disabled policy leaves the RNG stream untouched. */
     bool shouldShed(Instance &inst, const net::Message &msg);
 
+    /** Flight recorder: record a Shed instant for @p msg
+     *  (@p reason: 0 expired deadline, 1 queue depth, 2 CoDel). */
+    void traceShed(const net::Message &msg, std::uint32_t reason);
+
     ServiceGraph &graph_;
     TierParams params_;
     std::vector<std::unique_ptr<Instance>> instances_;
@@ -512,6 +522,15 @@ class Tier : public net::Endpoint
     TieArbiter tieArbiter_;
     /** Set by ServiceGraph::addTier / addReplicatedTier. */
     int tierIndex_ = 0;
+    /**
+     * Flight recorder: messages on this tier carry the root request
+     * id in (parentId ? parentId : id) — true for the entry tier and
+     * direct fan-out children — so per-dispatch spans can be rooted.
+     * Deeper tiers see fan-out slot ids there; their dispatch spans
+     * are skipped (the lane's sub-request span still covers them).
+     * Set by ServiceGraph::setTrace.
+     */
+    bool traceLocal_ = false;
 };
 
 /** Tunables of one scatter-gather fan-out edge. */
@@ -665,9 +684,16 @@ class Fanout
     bool absorbLoss(const net::Message &msg);
 
   private:
+    friend class ServiceGraph;
+
     struct RpcContext
     {
         net::Message request;
+        /** Root request id of this call (flight recorder): the wire
+         *  observer on the scatter link resolves sub-requests — whose
+         *  parentId is the *parent's* id, a slot id for nested
+         *  fan-outs — back to the root through it. */
+        std::uint64_t rootId = 0;
         /** Slot occupied (stale replies validate against this plus
          *  the parent id). */
         bool active = false;
@@ -724,9 +750,12 @@ class Fanout
     /**
      * Replica to send (req, shard)'s primary copy to, routing around
      * dead replicas (counts requestsFailedOver on a detour).
+     * @p traceRoot, when non-zero, is the call's root request id and
+     * enables the flight recorder's breaker-skip instants.
      * @return -1 when the whole child tier is down.
      */
-    int routeLive(std::uint64_t id, int shard);
+    int routeLive(std::uint64_t id, int shard,
+                  std::uint64_t traceRoot = 0);
 
     /**
      * Backup replica for a duplicate of (id, shard): the hedge
@@ -764,6 +793,18 @@ class Fanout
                    std::uint16_t shard, std::uint16_t replica);
     void onReply(const net::Message &reply);
     void finish(const net::Message &req);
+
+    /**
+     * Flight recorder (called by ServiceGraph::setTrace): install
+     * breaker observers and — when @p parentDepth <= 1, so the root
+     * id is resolvable without cross-domain reads — wire observers on
+     * this edge's links, and enable sub-request/hedge/retry spans.
+     */
+    void installTrace(int parentDepth);
+
+    /** Register this edge's timeline probes (in-flight calls,
+     *  breaker states) with @p m, homed in the parent's domain. */
+    void registerMetrics(obs::MetricsRegistry &m);
 
     ServiceGraph &graph_;
     Tier &parent_;
@@ -813,6 +854,9 @@ class Fanout
     /** Token bucket limiting hedge volume (hedgesSuppressed counts
      *  the hedges it withholds). */
     RetryBudget hedgeBudget_;
+    /** Flight recorder: sub-request/hedge/retry spans enabled (the
+     *  parent tier's messages carry resolvable root ids). */
+    bool traceSubs_ = false;
 };
 
 /**
@@ -1000,6 +1044,44 @@ class ServiceGraph : public net::Endpoint
      */
     bool absorbSubLoss(Tier &tier, const net::Message &msg);
 
+    // ---- observability (flight recorder + timeline metrics) ----
+
+    /**
+     * Install @p recorder as this run's flight recorder (nullptr
+     * disables — the default, costing one pointer test per hook).
+     * Call after planPartitions() (wire observers and span hooks are
+     * gated on domain-safe root resolution, which depends on the
+     * graph's fan-out depth). The recorder must outlive the run.
+     */
+    void setTrace(obs::TraceRecorder *recorder);
+
+    /** The run's flight recorder; nullptr when tracing is off. */
+    obs::TraceRecorder *trace() const { return trace_; }
+
+    /** Event-queue domain recording hooks write to: the current crew
+     *  domain in partitioned runs, 0 (clamped) otherwise. */
+    int
+    traceDomain() const
+    {
+        if (!sim_.partitioned())
+            return 0;
+        const int d = sim_.currentDomain();
+        return d < 0 ? 0 : d;
+    }
+
+    /**
+     * Register this graph's timeline probes with @p m: per-replica
+     * worker-queue depth, per-edge in-flight calls and breaker
+     * states, per-domain cumulative dispatched work, plus anything
+     * hooked in via onRegisterMetrics. Call after planPartitions()
+     * and shardStats() (probe homes are the planned domains).
+     */
+    void registerMetrics(obs::MetricsRegistry &m);
+
+    /** Hook for services owning extra probe-worthy state (cache hit
+     *  rates): @p fn runs at the end of registerMetrics(). */
+    void onRegisterMetrics(std::function<void(obs::MetricsRegistry &)> fn);
+
     /**
      * Service counters. Serial runs read `stats_` directly; a
      * partitioned run merges the per-domain shards on every call
@@ -1039,6 +1121,11 @@ class ServiceGraph : public net::Endpoint
     std::vector<LinkEdge> edges_;
     CacheFlushHook cacheFlushHook_;
     std::vector<std::unique_ptr<Fanout>> fanouts_;
+    /** Flight recorder of the current run (null = tracing off). */
+    obs::TraceRecorder *trace_ = nullptr;
+    /** Extra probe registrars (onRegisterMetrics). */
+    std::vector<std::function<void(obs::MetricsRegistry &)>>
+        metricRegistrars_;
     ServiceStats stats_;
     /** Per-domain counter shards (empty in serial runs). */
     std::vector<ServiceStats> statShards_;

@@ -23,6 +23,16 @@ std::string TrafficPolicy::label() const
     return out;
 }
 
+void
+CircuitBreaker::transition(State next)
+{
+    if (state_ == next)
+        return;
+    state_ = next;
+    if (observer_)
+        observer_(next);
+}
+
 bool
 CircuitBreaker::allow(Time now)
 {
@@ -31,7 +41,7 @@ CircuitBreaker::allow(Time now)
         return true;
       case State::Open:
         if (now - openedAt_ >= policy_.cooldown) {
-            state_ = State::HalfOpen;
+            transition(State::HalfOpen);
             probeInFlight_ = true;
             probeSentAt_ = now;
             return true;
@@ -55,7 +65,7 @@ CircuitBreaker::onSuccess()
 {
     failures_ = 0;
     probeInFlight_ = false;
-    state_ = State::Closed;
+    transition(State::Closed);
 }
 
 bool
@@ -64,14 +74,14 @@ CircuitBreaker::onFailure(Time now)
     if (state_ == State::HalfOpen) {
         // The probe failed: straight back to Open for a new cooldown.
         probeInFlight_ = false;
-        state_ = State::Open;
+        transition(State::Open);
         openedAt_ = now;
         return true;
     }
     ++failures_;
     if (state_ == State::Closed &&
         failures_ >= policy_.failureThreshold) {
-        state_ = State::Open;
+        transition(State::Open);
         openedAt_ = now;
         return true;
     }

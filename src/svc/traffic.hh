@@ -19,6 +19,7 @@
 #define TPV_SVC_TRAFFIC_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "sim/time.hh"
@@ -206,13 +207,28 @@ class CircuitBreaker
     State state() const { return state_; }
     int consecutiveFailures() const { return failures_; }
 
+    /**
+     * Observe state transitions (old != new): the flight recorder's
+     * breaker spans. Null by default — one branch per transition,
+     * nothing per admitted request. Install from run setup; the
+     * observer runs in whatever domain drives the breaker (the
+     * fan-out parent's).
+     */
+    using Observer = std::function<void(State)>;
+
+    void setObserver(Observer obs) { observer_ = std::move(obs); }
+
   private:
+    /** Enter @p next, notifying the observer on a real change. */
+    void transition(State next);
+
     BreakerPolicy policy_{};
     State state_ = State::Closed;
     int failures_ = 0;
     Time openedAt_ = 0;
     bool probeInFlight_ = false;
     Time probeSentAt_ = 0;
+    Observer observer_;
 };
 
 } // namespace svc
